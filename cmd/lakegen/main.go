@@ -1,0 +1,96 @@
+// Command lakegen writes the synthetic datasets used by the experiments to
+// disk as raw text files, so they can be inspected or loaded into other
+// systems.
+//
+// Usage:
+//
+//	go run ./cmd/lakegen -kind tpch   -out ./data [-sf 0.1]  [-seed 1]
+//	go run ./cmd/lakegen -kind claims -out ./data [-claims 10000] [-seed 1]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"lakeharbor/internal/claims"
+	"lakeharbor/internal/tpch"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "tpch", "dataset kind: tpch | claims")
+		out     = flag.String("out", "./data", "output directory")
+		sf      = flag.Float64("sf", 0.1, "TPC-H micro scale factor")
+		nClaims = flag.Int("claims", 10000, "number of claims")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	switch *kind {
+	case "tpch":
+		writeTPCH(*out, *sf, *seed)
+	case "claims":
+		writeClaims(*out, *nClaims, *seed)
+	default:
+		log.Fatalf("unknown -kind %q (want tpch or claims)", *kind)
+	}
+}
+
+func writeTPCH(dir string, sf float64, seed int64) {
+	ds := tpch.Generate(tpch.Config{SF: sf, Seed: seed})
+	write := func(name string, n int, row func(i int) string) {
+		path := filepath.Join(dir, name+".tbl")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for i := 0; i < n; i++ {
+			fmt.Fprintln(w, row(i))
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, n)
+	}
+	write("region", len(ds.Regions), func(i int) string { return ds.Regions[i].Raw() })
+	write("nation", len(ds.Nations), func(i int) string { return ds.Nations[i].Raw() })
+	write("supplier", len(ds.Suppliers), func(i int) string { return ds.Suppliers[i].Raw() })
+	write("customer", len(ds.Customers), func(i int) string { return ds.Customers[i].Raw() })
+	write("part", len(ds.Parts), func(i int) string { return ds.Parts[i].Raw() })
+	write("partsupp", len(ds.PartSupps), func(i int) string { return ds.PartSupps[i].Raw() })
+	write("orders", len(ds.Orders), func(i int) string { return ds.Orders[i].Raw() })
+	write("lineitem", len(ds.Lineitems), func(i int) string { return ds.Lineitems[i].Raw() })
+}
+
+func writeClaims(dir string, n int, seed int64) {
+	corpus := claims.Generate(claims.Config{Claims: n, Seed: seed})
+	path := filepath.Join(dir, "claims.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	for _, c := range corpus.Claims {
+		// Claims are separated by a blank line, as sub-record groups.
+		fmt.Fprint(w, c.Raw())
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d claims)\n", path, len(corpus.Claims))
+}

@@ -1,0 +1,144 @@
+// Command redebench regenerates Figure 7 of the paper: execution time of
+// TPC-H Q5′ versus selectivity for three systems sharing one simulated
+// cluster and cost model —
+//
+//   - impala: the scan + grace-hash-join baseline with static per-node
+//     parallelism (no indexes);
+//   - rede-nosmpe: ReDe using the structures but only the cluster's
+//     partitioned parallelism;
+//   - rede-smpe: ReDe with scalable massively parallel execution.
+//
+// It prints one row per selectivity with the three execution times and the
+// ReDe-vs-baseline speedup. Absolute times are simulator times; the paper's
+// claims are about the relative shape (who wins where, the crossover at
+// high selectivity).
+//
+// Usage:
+//
+//	go run ./cmd/redebench [-sf 0.2] [-nodes 4] [-cores 16] [-threads 1000]
+//	    [-region ASIA] [-sels 0.0001,0.001,...] [-seed 1] [-free]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lakeharbor/internal/baseline"
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/sim"
+	"lakeharbor/internal/tpch"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.5, "TPC-H micro scale factor")
+		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
+		cores   = flag.Int("cores", 16, "baseline static per-node parallelism")
+		threads = flag.Int("threads", core.DefaultThreads, "SMPE per-node worker pool size")
+		region  = flag.String("region", "ASIA", "Q5' region predicate")
+		selsArg = flag.String("sels", "0.0001,0.001,0.01,0.05,0.1,0.3,1.0", "comma-separated selectivities")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		free    = flag.Bool("free", false, "disable the I/O cost model (functional check only)")
+	)
+	flag.Parse()
+
+	sels, err := parseSels(*selsArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cost := sim.HDDProfile()
+	if *free {
+		cost = sim.CostModel{}
+	}
+	ctx := context.Background()
+	cluster := dfs.NewCluster(dfs.Config{Nodes: *nodes, Cost: cost})
+
+	fmt.Fprintf(os.Stderr, "generating TPC-H (SF=%g, seed=%d)...\n", *sf, *seed)
+	ds := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
+	fmt.Fprintf(os.Stderr, "loading %d orders, %d lineitems on %d nodes...\n",
+		len(ds.Orders), len(ds.Lineitems), *nodes)
+	if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "building structures (date index + foreign-key global indexes)...\n")
+	start := time.Now()
+	if err := tpch.BuildStructures(ctx, cluster); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "structures built in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	eng := baseline.New(cluster, *cores)
+
+	fmt.Printf("# Figure 7: TPC-H Q5' execution time vs selectivity (%s, SF=%g, %d nodes)\n",
+		*region, *sf, *nodes)
+	fmt.Printf("%-12s %-8s %14s %16s %14s %10s\n",
+		"selectivity", "rows", "impala", "rede-nosmpe", "rede-smpe", "speedup")
+	for _, sel := range sels {
+		lo, hi := tpch.DateRange(sel)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		job, err := tpch.Q5Job(ctx, cluster, *region, lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t0 := time.Now()
+		baseRows, err := tpch.RunQ5Baseline(ctx, eng, cluster, *region, lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tImpala := time.Since(t0)
+
+		plain, err := core.ExecutePlain(ctx, job, cluster, cluster, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		smpe, err := core.Execute(ctx, job, cluster, cluster, core.Options{Threads: *threads, InlineReferencers: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		if plain.Count != baseRows || smpe.Count != baseRows {
+			log.Fatalf("sel=%g: result mismatch: impala=%d nosmpe=%d smpe=%d",
+				sel, baseRows, plain.Count, smpe.Count)
+		}
+		fmt.Printf("%-12g %-8d %14s %16s %14s %9.1fx\n",
+			sel, baseRows,
+			tImpala.Round(time.Microsecond),
+			plain.Elapsed.Round(time.Microsecond),
+			smpe.Elapsed.Round(time.Microsecond),
+			float64(tImpala)/float64(smpe.Elapsed))
+	}
+}
+
+func parseSels(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad selectivity %q: %w", part, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("selectivity %g out of [0,1]", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no selectivities given")
+	}
+	return out, nil
+}

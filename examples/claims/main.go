@@ -1,0 +1,89 @@
+// Command claims reproduces the paper's case study (§IV): analytics over
+// Japanese public-healthcare insurance claims. It generates a synthetic
+// corpus in the nested IR/RE/HO/SI/IY/SY text format, stores it two ways —
+// raw claims with a post hoc disease index (the LakeHarbor way) and
+// normalized relational tables (the warehouse way) — runs queries Q1–Q3 on
+// both, and prints the Fig. 9 comparison of record accesses.
+//
+// Run it with:
+//
+//	go run ./examples/claims
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"lakeharbor/internal/claims"
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+)
+
+func main() {
+	ctx := context.Background()
+	const nClaims = 5000
+
+	fmt.Printf("generating %d synthetic insurance claims...\n", nClaims)
+	corpus := claims.Generate(claims.Config{Claims: nClaims, Seed: 2024})
+
+	// Show one claim in its raw nested format (Fig. 8 of the paper).
+	fmt.Println("\na raw claim (dynamically-typed nested sub-records):")
+	fmt.Print(indent(corpus.Claims[0].Raw()))
+
+	lakeCluster := dfs.NewCluster(dfs.Config{Nodes: 4})
+	if err := claims.LoadLake(ctx, lakeCluster, corpus, 0); err != nil {
+		log.Fatal(err)
+	}
+	whCluster := dfs.NewCluster(dfs.Config{Nodes: 4})
+	if err := claims.LoadWarehouse(ctx, whCluster, corpus, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nloaded: raw claims + post hoc disease index (LakeHarbor),")
+	fmt.Println("        normalized tables + disease index (warehouse)")
+
+	fmt.Printf("\n%-4s %-14s %-14s %-16s %-16s %s\n",
+		"qry", "claims", "expense", "DW accesses", "ReDe accesses", "normalized (DW=1.0)")
+	for _, q := range claims.Queries {
+		wh, err := claims.RunWarehouse(ctx, whCluster, q, core.Options{})
+		if err != nil {
+			log.Fatalf("%s warehouse: %v", q.Name, err)
+		}
+		rd, err := claims.RunReDe(ctx, lakeCluster, q, core.Options{})
+		if err != nil {
+			log.Fatalf("%s ReDe: %v", q.Name, err)
+		}
+		if rd.Claims != wh.Claims || rd.Expense != wh.Expense {
+			log.Fatalf("%s: systems disagree: ReDe (%d, %d) vs warehouse (%d, %d)",
+				q.Name, rd.Claims, rd.Expense, wh.Claims, wh.Expense)
+		}
+		norm := float64(rd.RecordAccesses) / float64(wh.RecordAccesses)
+		fmt.Printf("%-4s %-14d %-14d %-16d %-16d %.3f\n",
+			q.Name, rd.Claims, rd.Expense, wh.RecordAccesses, rd.RecordAccesses, norm)
+	}
+	fmt.Println("\nReDe touches far fewer records: schema-on-read over whole nested")
+	fmt.Println("claims avoids the joins the normalized warehouse model forces (Fig. 9).")
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

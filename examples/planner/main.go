@@ -1,0 +1,89 @@
+// Command planner demonstrates the paper's §V-A/§V-D research directions,
+// implemented in internal/planner: a declarative query layer on top of
+// Reference-Dereference that estimates the driving predicate's selectivity
+// by sampling the index, costs an index plan (SMPE) against a scan plan
+// (the Impala-like baseline), and runs the cheaper one. This is the plan
+// switching the paper says would make ReDe "perform comparably with Impala
+// in the high selectivity range".
+//
+// Run it with:
+//
+//	go run ./examples/planner
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/planner"
+	"lakeharbor/internal/sim"
+	"lakeharbor/internal/tpch"
+)
+
+func main() {
+	ctx := context.Background()
+	cluster := dfs.NewCluster(dfs.Config{Nodes: 4, Cost: sim.HDDProfile()})
+
+	fmt.Println("loading TPC-H (SF 0.2) and building structures...")
+	ds := tpch.Generate(tpch.Config{SF: 0.2, Seed: 1})
+	if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := tpch.BuildStructures(ctx, cluster); err != nil {
+		log.Fatal(err)
+	}
+
+	pl := planner.New(cluster, 16)
+	orders := planner.Table{Name: tpch.FileOrders, Interp: tpch.InterpOrders, Key: "o_orderkey", Encode: tpch.EncodeInt}
+	customer := planner.Table{Name: tpch.FileCustomer, Interp: tpch.InterpCustomer, Key: "c_custkey", Encode: tpch.EncodeInt}
+	lineitem := planner.Table{Name: tpch.FileLineitem, Interp: tpch.InterpLineitem, Key: "l_orderkey", Encode: tpch.EncodeInt}
+
+	fmt.Printf("\n%-12s %-10s %-10s %-14s %-14s %-10s %s\n",
+		"selectivity", "est.rows", "strategy", "est.index", "est.scan", "rows", "elapsed")
+	for _, sel := range []float64{0.0005, 0.01, 0.1, 0.5, 1.0} {
+		lo, hi := tpch.DateRange(sel)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		q := &planner.Query{
+			Name:        fmt.Sprintf("orders-lineitems@%g", sel),
+			From:        orders,
+			DriverIndex: tpch.IdxOrdersDate,
+			DriverLo:    keycodec.Int64(int64(lo)),
+			DriverHi:    keycodec.Int64(int64(hi - 1)),
+			DriverPred: func(f core.Fields) (bool, error) {
+				d, err := tpch.EncodeInt(f["o_orderdate"])
+				if err != nil {
+					return false, err
+				}
+				return d >= keycodec.Int64(int64(lo)) && d <= keycodec.Int64(int64(hi-1)), nil
+			},
+			Joins: []planner.Join{
+				{FromField: "o_custkey", To: customer},
+				{FromField: "o_orderkey", To: lineitem, ToField: "l_orderkey", Prefix: true},
+			},
+		}
+		p, err := pl.Plan(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := p.Execute(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12g %-10d %-10s %-14s %-14s %-10d %s\n",
+			sel, p.EstimatedDriverRows, p.Strategy,
+			p.EstimatedIndexCost.Round(time.Millisecond),
+			p.EstimatedScanCost.Round(time.Millisecond),
+			res.Count, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nthe planner switches from the index plan to the scan plan as the")
+	fmt.Println("estimated driver cardinality grows — closing the high-selectivity gap")
+	fmt.Println("seen in Figure 7 (§V-A/§V-D of the paper).")
+}

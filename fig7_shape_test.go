@@ -1,0 +1,96 @@
+package lakeharbor
+
+// TestFig7ShapeHolds pins the paper's headline result as an executable
+// invariant: on one shared cluster and cost model,
+//
+//  1. at low selectivity ReDe w/ SMPE beats the scan baseline by a wide
+//     margin,
+//  2. at very low selectivity even ReDe w/o SMPE beats the baseline,
+//  3. at full selectivity ReDe w/o SMPE is far behind the baseline, and
+//  4. SMPE beats no-SMPE wherever there is real work.
+//
+// Margins are kept loose (2×) so scheduler noise on slow CI machines does
+// not flake the test; EXPERIMENTS.md records the actual factors.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lakeharbor/internal/baseline"
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/sim"
+	"lakeharbor/internal/tpch"
+)
+
+func TestFig7ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based shape check skipped in -short mode")
+	}
+	ctx := context.Background()
+	cluster := dfs.NewCluster(dfs.Config{Nodes: 4, Cost: sim.HDDProfile()})
+	ds := tpch.Generate(tpch.Config{SF: 0.2, Seed: 1})
+	if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpch.BuildStructures(ctx, cluster); err != nil {
+		t.Fatal(err)
+	}
+	eng := baseline.New(cluster, 16)
+
+	timeImpala := func(lo, hi int) time.Duration {
+		start := time.Now()
+		if _, err := tpch.RunQ5Baseline(ctx, eng, cluster, "ASIA", lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	timeReDe := func(lo, hi int, smpe bool) time.Duration {
+		job, err := tpch.Q5Job(ctx, cluster, "ASIA", lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *core.Result
+		if smpe {
+			res, err = core.ExecuteSMPE(ctx, job, cluster, cluster, core.Options{})
+		} else {
+			res, err = core.ExecutePlain(ctx, job, cluster, cluster, core.Options{})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+
+	// Very low selectivity (~1e-3).
+	lo, hi := tpch.DateRange(0.001)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	impalaLow := timeImpala(lo, hi)
+	smpeLow := timeReDe(lo, hi, true)
+	plainLow := timeReDe(lo, hi, false)
+
+	if smpeLow*2 >= impalaLow {
+		t.Errorf("shape 1 violated: SMPE %v not well under baseline %v at low selectivity", smpeLow, impalaLow)
+	}
+	if plainLow >= impalaLow {
+		t.Errorf("shape 2 violated: no-SMPE %v not under baseline %v at very low selectivity", plainLow, impalaLow)
+	}
+
+	// Full selectivity.
+	loF, hiF := tpch.DateRange(1.0)
+	impalaFull := timeImpala(loF, hiF)
+	plainFull := timeReDe(loF, hiF, false)
+	smpeFull := timeReDe(loF, hiF, true)
+
+	if plainFull <= impalaFull*2 {
+		t.Errorf("shape 3 violated: no-SMPE %v not far behind baseline %v at full selectivity", plainFull, impalaFull)
+	}
+	if smpeFull*2 >= plainFull {
+		t.Errorf("shape 4 violated: SMPE %v not well under no-SMPE %v at full selectivity", smpeFull, plainFull)
+	}
+	t.Logf("low sel: impala=%v nosmpe=%v smpe=%v; full sel: impala=%v nosmpe=%v smpe=%v",
+		impalaLow, plainLow, smpeLow, impalaFull, plainFull, smpeFull)
+}

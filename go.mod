@@ -1,0 +1,3 @@
+module lakeharbor
+
+go 1.22

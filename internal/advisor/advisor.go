@@ -1,0 +1,271 @@
+// Package advisor implements the paper's §V-B research direction,
+// structure maintenance: deciding *what* structures to build and *when*.
+//
+// The paper's requirements: (1) weigh data-processing speedup against the
+// loading/maintenance overhead of each structure, and (2) adapt to
+// workload change. The advisor does both with a decayed workload log:
+//
+//   - Candidate access methods are registered (the same indexer.Spec the
+//     lazy builder uses) but not built.
+//   - Each query that *would have used* a candidate reports an observation:
+//     how many records it scanned and how many an index would have fetched
+//     instead. Observations decay exponentially, so stale workloads stop
+//     justifying structures.
+//   - Benefit is the modeled time saved across the decayed log; cost is the
+//     modeled build scan. When accumulated benefit exceeds the build cost
+//     by a configurable factor, AutoBuild materializes the structure
+//     through the lazy builder.
+//   - Built structures keep reporting usage; structures idle for many
+//     observations are recommended for dropping.
+package advisor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
+)
+
+// Config tunes the advisor.
+type Config struct {
+	// DecayFactor multiplies every candidate's accumulated benefit on each
+	// Decay call; 0 selects 0.8.
+	DecayFactor float64
+	// BuildFactor is how many times the build cost the accumulated
+	// benefit must reach before AutoBuild materializes a structure; 0
+	// selects 2.0 (build once the structure has "paid for itself twice").
+	BuildFactor float64
+	// IdleObservations is how many global observations may pass without a
+	// built structure being used before DropCandidates lists it; 0
+	// selects 1000.
+	IdleObservations int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DecayFactor <= 0 || c.DecayFactor >= 1 {
+		c.DecayFactor = 0.8
+	}
+	if c.BuildFactor <= 0 {
+		c.BuildFactor = 2.0
+	}
+	if c.IdleObservations <= 0 {
+		c.IdleObservations = 1000
+	}
+	return c
+}
+
+// Advisor tracks candidate structures and the workload that would use them.
+type Advisor struct {
+	cluster *dfs.Cluster
+	cfg     Config
+
+	mu         sync.Mutex
+	candidates map[string]*candidate
+	clock      int64 // observation counter; the advisor's notion of time
+}
+
+type candidate struct {
+	spec indexer.Spec
+	// benefitNs is the decayed accumulated time (ns) the structure would
+	// have saved.
+	benefitNs float64
+	// observations counts queries that would have used it (not decayed).
+	observations int64
+	built        bool
+	lastUsed     int64 // clock value of last use/observation
+}
+
+// New creates an advisor over the cluster.
+func New(cluster *dfs.Cluster, cfg Config) *Advisor {
+	return &Advisor{
+		cluster:    cluster,
+		cfg:        cfg.withDefaults(),
+		candidates: make(map[string]*candidate),
+	}
+}
+
+// Register adds a candidate structure. It does not build anything.
+func (a *Advisor) Register(spec indexer.Spec) error {
+	if spec.Name == "" || spec.Base == "" {
+		return fmt.Errorf("advisor: candidate needs Name and Base")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.candidates[spec.Name]; ok {
+		return fmt.Errorf("advisor: candidate %q already registered", spec.Name)
+	}
+	a.candidates[spec.Name] = &candidate{spec: spec}
+	return nil
+}
+
+// Observe reports that a query filtered or joined on the candidate's key:
+// it scanned scannedRows records, where an index would have fetched about
+// matchedRows. For an already-built structure this records usage instead.
+func (a *Advisor) Observe(name string, scannedRows, matchedRows int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.candidates[name]
+	if !ok {
+		return fmt.Errorf("advisor: unknown candidate %q", name)
+	}
+	a.clock++
+	c.observations++
+	c.lastUsed = a.clock
+	if c.built {
+		return nil
+	}
+	cost := a.cluster.Cost()
+	scanNs := float64(scannedRows) * float64(cost.ScanPerRecord)
+	lookupNs := float64(matchedRows) * float64(cost.LookupLatency)
+	if saved := scanNs - lookupNs; saved > 0 {
+		c.benefitNs += saved
+	}
+	return nil
+}
+
+// Decay ages the workload log; call it periodically (e.g. every N queries)
+// so that structures stop being justified by workloads that ended.
+func (a *Advisor) Decay() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, c := range a.candidates {
+		c.benefitNs *= a.cfg.DecayFactor
+	}
+}
+
+// Recommendation is a costed build (or drop) suggestion.
+type Recommendation struct {
+	// Name is the candidate structure.
+	Name string
+	// BenefitNs is the decayed accumulated modeled saving.
+	BenefitNs float64
+	// BuildCostNs is the modeled cost of building now.
+	BuildCostNs float64
+	// Ratio is BenefitNs / BuildCostNs; AutoBuild triggers at
+	// Config.BuildFactor.
+	Ratio float64
+	// Observations is how many queries would have used it.
+	Observations int64
+}
+
+// buildCostNs models building the structure: one streaming scan of the
+// base file, overlapped across its partitions.
+func (a *Advisor) buildCostNs(spec indexer.Spec) (float64, error) {
+	rows, err := a.cluster.Len(spec.Base)
+	if err != nil {
+		return 0, err
+	}
+	f, err := a.cluster.File(spec.Base)
+	if err != nil {
+		return 0, err
+	}
+	cost := a.cluster.Cost()
+	parts := f.NumPartitions()
+	if parts < 1 {
+		parts = 1
+	}
+	ns := float64(rows) * float64(cost.ScanPerRecord) / float64(parts)
+	if ns < 1 {
+		ns = 1 // avoid zero cost under the free model; ratios stay finite
+	}
+	return ns, nil
+}
+
+// Recommend lists unbuilt candidates by descending benefit/cost ratio.
+func (a *Advisor) Recommend() ([]Recommendation, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Recommendation
+	for name, c := range a.candidates {
+		if c.built {
+			continue
+		}
+		build, err := a.buildCostNs(c.spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Recommendation{
+			Name:         name,
+			BenefitNs:    c.benefitNs,
+			BuildCostNs:  build,
+			Ratio:        c.benefitNs / build,
+			Observations: c.observations,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out, nil
+}
+
+// AutoBuild materializes every unbuilt candidate whose accumulated benefit
+// has reached Config.BuildFactor × build cost, returning the names built.
+func (a *Advisor) AutoBuild(ctx context.Context) ([]string, error) {
+	recs, err := a.Recommend()
+	if err != nil {
+		return nil, err
+	}
+	var built []string
+	for _, r := range recs {
+		if r.Ratio < a.cfg.BuildFactor {
+			break // sorted descending: nothing further qualifies
+		}
+		a.mu.Lock()
+		c := a.candidates[r.Name]
+		spec := c.spec
+		a.mu.Unlock()
+		if _, err := indexer.Build(ctx, a.cluster, spec); err != nil {
+			return built, fmt.Errorf("advisor: building %q: %w", r.Name, err)
+		}
+		a.mu.Lock()
+		c.built = true
+		a.mu.Unlock()
+		built = append(built, r.Name)
+	}
+	return built, nil
+}
+
+// Built reports whether the named structure has been materialized by the
+// advisor.
+func (a *Advisor) Built(name string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.candidates[name]
+	return ok && c.built
+}
+
+// DropCandidates lists built structures that have not been used for at
+// least Config.IdleObservations observations — the maintenance-overhead
+// side of the paper's trade-off. Dropping is left to the operator (or a
+// test) via dfs.DropFile.
+func (a *Advisor) DropCandidates() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for name, c := range a.candidates {
+		if c.built && a.clock-c.lastUsed >= a.cfg.IdleObservations {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a built structure: the file is dropped from the catalog and
+// the candidate returns to the unbuilt pool with its log reset.
+func (a *Advisor) Drop(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.candidates[name]
+	if !ok {
+		return fmt.Errorf("advisor: unknown candidate %q", name)
+	}
+	if !c.built {
+		return fmt.Errorf("advisor: %q is not built", name)
+	}
+	a.cluster.DropFile(name)
+	c.built = false
+	c.benefitNs = 0
+	return nil
+}

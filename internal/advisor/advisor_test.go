@@ -1,0 +1,240 @@
+package advisor
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/sim"
+)
+
+// testCluster loads a base file of n rows with a cost model so the
+// benefit/cost arithmetic has real numbers to work with.
+func testCluster(t testing.TB, n int) *dfs.Cluster {
+	t.Helper()
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2, Cost: sim.CostModel{
+		LookupLatency: 400 * time.Microsecond,
+		ScanPerRecord: 20 * time.Microsecond,
+		Spindles:      24,
+	}})
+	f, err := c.CreateFile("events", dfs.Btree, 4, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := keycodec.Int64(int64(i))
+		if err := dfs.AppendRouted(ctx, f, k, lake.Record{Key: k, Data: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func eventSpec() indexer.Spec {
+	return indexer.Spec{
+		Name:    "events_idx",
+		Base:    "events",
+		Kind:    indexer.Global,
+		PartKey: func(rec lake.Record) (lake.Key, error) { return rec.Key, nil },
+		Keys: func(rec lake.Record) ([]lake.Key, error) {
+			return []lake.Key{rec.Key}, nil
+		},
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	a := New(testCluster(t, 10), Config{})
+	if err := a.Register(indexer.Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if err := a.Register(eventSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register(eventSpec()); err == nil {
+		t.Error("duplicate candidate accepted")
+	}
+	if err := a.Observe("nope", 1, 1); err == nil {
+		t.Error("Observe on unknown candidate accepted")
+	}
+}
+
+func TestBenefitAccumulatesAndTriggersBuild(t *testing.T) {
+	ctx := context.Background()
+	cluster := testCluster(t, 2000)
+	a := New(cluster, Config{BuildFactor: 2})
+	if err := a.Register(eventSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One selective query: scanned 2000 rows where an index would fetch 5.
+	// Benefit ≈ 2000×20µs - 5×400µs = 38ms; build ≈ 2000×20µs/4 = 10ms;
+	// ratio ≈ 3.8 ≥ 2 → a single observation already justifies the build.
+	if err := a.Observe("events_idx", 2000, 5); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := a.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "events_idx" {
+		t.Fatalf("Recommend = %+v", recs)
+	}
+	if recs[0].Ratio < 2 {
+		t.Fatalf("ratio = %g, expected >= 2 after a strongly selective query", recs[0].Ratio)
+	}
+	built, err := a.AutoBuild(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 1 || built[0] != "events_idx" {
+		t.Fatalf("AutoBuild = %v", built)
+	}
+	if !a.Built("events_idx") {
+		t.Error("Built not reporting")
+	}
+	if n, err := cluster.Len("events_idx"); err != nil || n != 2000 {
+		t.Fatalf("built index has %d entries (%v)", n, err)
+	}
+	// Built candidates leave the recommendation list.
+	recs, _ = a.Recommend()
+	if len(recs) != 0 {
+		t.Errorf("built candidate still recommended: %+v", recs)
+	}
+}
+
+func TestUnselectiveWorkloadDoesNotTrigger(t *testing.T) {
+	ctx := context.Background()
+	a := New(testCluster(t, 2000), Config{BuildFactor: 2})
+	a.Register(eventSpec())
+	// Query matches nearly everything: lookups would cost more than the
+	// scan, so no benefit accrues.
+	for i := 0; i < 50; i++ {
+		a.Observe("events_idx", 2000, 1900)
+	}
+	built, err := a.AutoBuild(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 0 {
+		t.Fatalf("unselective workload built %v", built)
+	}
+}
+
+func TestDecayForgetsOldWorkloads(t *testing.T) {
+	a := New(testCluster(t, 2000), Config{BuildFactor: 2, DecayFactor: 0.5})
+	a.Register(eventSpec())
+	a.Observe("events_idx", 2000, 5)
+	before, _ := a.Recommend()
+	for i := 0; i < 20; i++ {
+		a.Decay()
+	}
+	after, _ := a.Recommend()
+	if after[0].BenefitNs >= before[0].BenefitNs/1000 {
+		t.Errorf("decay did not forget: %g -> %g", before[0].BenefitNs, after[0].BenefitNs)
+	}
+	if after[0].Ratio >= 2 {
+		t.Error("decayed candidate still above the build threshold")
+	}
+}
+
+func TestAccumulationAcrossManyModestQueries(t *testing.T) {
+	ctx := context.Background()
+	a := New(testCluster(t, 2000), Config{BuildFactor: 2})
+	a.Register(eventSpec())
+	// Each query saves ~ (2000×20µs − 200×400µs) < 0 ... choose matched
+	// rows low enough to save a little each time: 2000×20µs = 40ms scan,
+	// 50×400µs = 20ms lookups → ~20ms saved per query; build cost 10ms →
+	// threshold 20ms reached after 1 query? BuildFactor 2 → needs 20ms:
+	// use matched=80 → saved 8ms/query → needs 3 queries.
+	a.Observe("events_idx", 2000, 80)
+	if built, _ := a.AutoBuild(ctx); len(built) != 0 {
+		t.Fatalf("built too eagerly: %v", built)
+	}
+	a.Observe("events_idx", 2000, 80)
+	a.Observe("events_idx", 2000, 80)
+	built, err := a.AutoBuild(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 1 {
+		t.Fatalf("accumulated benefit did not trigger build: %v", built)
+	}
+}
+
+func TestDropCandidatesAndDrop(t *testing.T) {
+	ctx := context.Background()
+	cluster := testCluster(t, 500)
+	a := New(cluster, Config{BuildFactor: 1, IdleObservations: 5})
+	a.Register(eventSpec())
+	other := eventSpec()
+	other.Name = "busy_idx"
+	a.Register(other)
+
+	a.Observe("events_idx", 500, 1)
+	a.Observe("busy_idx", 500, 1)
+	if _, err := a.AutoBuild(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Built("events_idx") || !a.Built("busy_idx") {
+		t.Fatal("both candidates should be built")
+	}
+	// busy_idx keeps being used; events_idx goes idle.
+	for i := 0; i < 10; i++ {
+		a.Observe("busy_idx", 10, 1)
+	}
+	drops := a.DropCandidates()
+	if len(drops) != 1 || drops[0] != "events_idx" {
+		t.Fatalf("DropCandidates = %v, want [events_idx]", drops)
+	}
+	if err := a.Drop("events_idx"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.File("events_idx"); err == nil {
+		t.Error("dropped structure still in catalog")
+	}
+	if a.Built("events_idx") {
+		t.Error("dropped structure still marked built")
+	}
+	// A dropped candidate can be justified and rebuilt again.
+	a.Observe("events_idx", 500, 1)
+	if built, _ := a.AutoBuild(ctx); len(built) != 1 {
+		t.Errorf("rebuild after drop failed: %v", built)
+	}
+	if err := a.Drop("never-registered"); err == nil {
+		t.Error("Drop of unknown candidate accepted")
+	}
+	if err := a.Drop("events_idx"); err != nil {
+		t.Errorf("drop of rebuilt structure failed: %v", err)
+	}
+	if err := a.Drop("events_idx"); err == nil {
+		t.Error("double Drop accepted")
+	}
+}
+
+func TestRecommendOrdersByRatio(t *testing.T) {
+	a := New(testCluster(t, 1000), Config{})
+	s1 := eventSpec()
+	s1.Name = "hot"
+	s2 := eventSpec()
+	s2.Name = "cold"
+	a.Register(s1)
+	a.Register(s2)
+	a.Observe("hot", 1000, 1)
+	a.Observe("hot", 1000, 1)
+	a.Observe("cold", 1000, 900)
+	recs, err := a.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Name != "hot" {
+		t.Fatalf("Recommend order = %+v", recs)
+	}
+	if recs[0].Observations != 2 {
+		t.Errorf("hot observations = %d", recs[0].Observations)
+	}
+}

@@ -1,0 +1,187 @@
+// Package baseline implements the comparison system of the paper's
+// preliminary evaluation (§III-E): a scan-based analytical query engine in
+// the style of Apache Impala. It has no indexes; every table access is a
+// full scan with predicate pushdown, executed with *statically defined*
+// per-node parallelism (the paper: "dozens of statically defined
+// parallelism (usually matching the number of CPU cores) in each computing
+// node"), and joins are partitioned (grace) hash joins.
+//
+// The engine runs against the same dfs storage as ReDe, so execution times
+// and record-access counts are directly comparable.
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// DefaultCores matches the paper's testbed nodes (two 8-core Xeons).
+const DefaultCores = 16
+
+// Engine executes scan + hash-join plans over a dfs cluster.
+type Engine struct {
+	cluster *dfs.Cluster
+	cores   int
+	// sems[i] gates node i's scan parallelism at the static core count.
+	sems []chan struct{}
+}
+
+// New returns an engine over the cluster with the given static per-node
+// parallelism (0 selects DefaultCores).
+func New(cluster *dfs.Cluster, coresPerNode int) *Engine {
+	if coresPerNode <= 0 {
+		coresPerNode = DefaultCores
+	}
+	e := &Engine{cluster: cluster, cores: coresPerNode}
+	for i := 0; i < cluster.NumNodes(); i++ {
+		e.sems = append(e.sems, make(chan struct{}, coresPerNode))
+	}
+	return e
+}
+
+// Cores returns the static per-node parallelism.
+func (e *Engine) Cores() int { return e.cores }
+
+// Pred is a pushdown predicate over raw records; nil accepts everything.
+type Pred func(lake.Record) (bool, error)
+
+// Scan reads every record of the named file, applying the pushdown
+// predicate, with partition scans running at the engine's static per-node
+// parallelism. Results are collected in memory (the paper's SPJ workload
+// has no aggregation).
+func (e *Engine) Scan(ctx context.Context, file string, pred Pred) ([]lake.Record, error) {
+	f, err := e.cluster.File(file)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu   sync.Mutex
+		out  []lake.Record
+		errs = make(chan error, f.NumPartitions())
+		wg   sync.WaitGroup
+	)
+	for p := 0; p < f.NumPartitions(); p++ {
+		owner := e.cluster.OwnerNode(p)
+		wg.Add(1)
+		go func(p, owner int) {
+			defer wg.Done()
+			// Take a core on the owning node: static parallelism.
+			select {
+			case e.sems[owner] <- struct{}{}:
+				defer func() { <-e.sems[owner] }()
+			case <-ctx.Done():
+				errs <- ctx.Err()
+				return
+			}
+			var local []lake.Record
+			err := f.Scan(e.cluster.Bind(ctx, owner), p, func(r lake.Record) error {
+				if pred != nil {
+					ok, err := pred(r)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+				}
+				local = append(local, r)
+				return nil
+			})
+			if err != nil {
+				errs <- err
+				cancel()
+				return
+			}
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}(p, owner)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, fmt.Errorf("baseline: scan %q: %w", file, err)
+	}
+	return out, nil
+}
+
+// Tuple is a partial join result: one record per table joined so far.
+type Tuple []lake.Record
+
+// TuplesOf wraps scanned records as single-table tuples.
+func TuplesOf(recs []lake.Record) []Tuple {
+	out := make([]Tuple, len(recs))
+	for i, r := range recs {
+		out[i] = Tuple{r}
+	}
+	return out
+}
+
+// KeyFn extracts a join key from a raw record.
+type KeyFn func(lake.Record) (string, error)
+
+// TupleKeyFn extracts a join key from a partial join result.
+type TupleKeyFn func(Tuple) (string, error)
+
+// TupleKey lifts a record KeyFn to operate on tuple position i.
+func TupleKey(i int, fn KeyFn) TupleKeyFn {
+	return func(t Tuple) (string, error) {
+		if i < 0 || i >= len(t) {
+			return "", fmt.Errorf("baseline: tuple has %d records, key wants position %d", len(t), i)
+		}
+		return fn(t[i])
+	}
+}
+
+// HashJoin joins probe tuples against build records on equal keys,
+// appending the matching record to each tuple. It builds the hash table on
+// the build side, as a grace hash join does after repartitioning; with both
+// inputs already collected, the repartitioning step is a no-op in-process.
+func HashJoin(probe []Tuple, probeKey TupleKeyFn, build []lake.Record, buildKey KeyFn) ([]Tuple, error) {
+	ht := make(map[string][]lake.Record, len(build))
+	for _, r := range build {
+		k, err := buildKey(r)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: build key: %w", err)
+		}
+		ht[k] = append(ht[k], r)
+	}
+	var out []Tuple
+	for _, t := range probe {
+		k, err := probeKey(t)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: probe key: %w", err)
+		}
+		for _, m := range ht[k] {
+			nt := make(Tuple, len(t)+1)
+			copy(nt, t)
+			nt[len(t)] = m
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}
+
+// SemiJoinFilter returns the probe tuples whose key appears in the build
+// keys set. It implements the dimension-reduction steps of Q5′ (region →
+// nation) without widening tuples.
+func SemiJoinFilter(probe []Tuple, probeKey TupleKeyFn, keys map[string]bool) ([]Tuple, error) {
+	var out []Tuple
+	for _, t := range probe {
+		k, err := probeKey(t)
+		if err != nil {
+			return nil, err
+		}
+		if keys[k] {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lakeharbor/internal/keycodec"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+	if got := tr.Get("k"); got != nil {
+		t.Errorf("Get on empty = %v, want nil", got)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty reported ok")
+	}
+	n := 0
+	tr.AscendAll(func(string, []byte) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("AscendAll visited %d entries on empty tree", n)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	tr.Insert("b", []byte("2"))
+	tr.Insert("a", []byte("1"))
+	tr.Insert("c", []byte("3"))
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		got := tr.Get(k)
+		if len(got) != 1 || string(got[0]) != want {
+			t.Errorf("Get(%q) = %v, want [%s]", k, got, want)
+		}
+	}
+	if got := tr.Get("z"); got != nil {
+		t.Errorf("Get(miss) = %v", got)
+	}
+}
+
+func TestDuplicateKeysInsertionOrder(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Insert("dup", []byte(fmt.Sprintf("%03d", i)))
+		tr.Insert(fmt.Sprintf("filler-%03d", i), []byte("x"))
+	}
+	got := tr.Get("dup")
+	if len(got) != 200 {
+		t.Fatalf("Get(dup) returned %d values, want 200", len(got))
+	}
+	for i, v := range got {
+		if string(v) != fmt.Sprintf("%03d", i) {
+			t.Fatalf("duplicate %d out of insertion order: %s", i, v)
+		}
+	}
+}
+
+func TestLargeRandomInsertMatchesSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	var oracle []string
+	for i := 0; i < 20000; i++ {
+		k := keycodec.Int64(rng.Int63n(5000)) // plenty of duplicates
+		tr.Insert(k, nil)
+		oracle = append(oracle, k)
+	}
+	sort.Strings(oracle)
+	i := 0
+	tr.AscendAll(func(k string, _ []byte) bool {
+		if k != oracle[i] {
+			t.Fatalf("entry %d: got %x want %x", i, k, oracle[i])
+		}
+		i++
+		return true
+	})
+	if i != len(oracle) {
+		t.Fatalf("visited %d entries, want %d", i, len(oracle))
+	}
+	if tr.Height() < 3 {
+		t.Errorf("tree of 20000 entries has height %d; want a multi-level tree", tr.Height())
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(keycodec.Int64(i), []byte{byte(i)})
+	}
+	var got []int64
+	tr.Ascend(keycodec.Int64(100), keycodec.Int64(110), func(k string, _ []byte) bool {
+		v, _ := keycodec.DecodeInt64(k)
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 11 {
+		t.Fatalf("range [100,110] returned %d entries, want 11: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != int64(100+i) {
+			t.Fatalf("range result %d = %d, want %d", i, v, 100+i)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(keycodec.Int64(i), nil)
+	}
+	n := 0
+	tr.Ascend(keycodec.Int64(0), keycodec.Int64(99), func(string, []byte) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d, want 5", n)
+	}
+}
+
+func TestAscendEmptyRange(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i += 10 {
+		tr.Insert(keycodec.Int64(i), nil)
+	}
+	n := 0
+	tr.Ascend(keycodec.Int64(11), keycodec.Int64(19), func(string, []byte) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("gap range returned %d entries", n)
+	}
+	tr.Ascend(keycodec.Int64(50), keycodec.Int64(40), func(string, []byte) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("inverted range returned %d entries", n)
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New()
+	for _, v := range []int64{42, 7, 99, 7, 13} {
+		tr.Insert(keycodec.Int64(v), nil)
+	}
+	k, ok := tr.Min()
+	if !ok {
+		t.Fatal("Min not ok")
+	}
+	if v, _ := keycodec.DecodeInt64(k); v != 7 {
+		t.Errorf("Min = %d, want 7", v)
+	}
+}
+
+// TestQuickAgainstMapOracle is the core property test: after an arbitrary
+// insertion sequence, Get returns exactly the values the oracle holds, and
+// full iteration is sorted.
+func TestQuickAgainstMapOracle(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tr := New()
+		oracle := map[string][]string{}
+		for i, kv := range keys {
+			k := keycodec.Uint64(uint64(kv % 512))
+			v := fmt.Sprint(i)
+			tr.Insert(k, []byte(v))
+			oracle[k] = append(oracle[k], v)
+		}
+		if tr.Len() != len(keys) {
+			return false
+		}
+		for k, want := range oracle {
+			got := tr.Get(k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if string(got[i]) != want[i] {
+					return false
+				}
+			}
+		}
+		prev := ""
+		ok := true
+		first := true
+		tr.AscendAll(func(k string, _ []byte) bool {
+			if !first && k < prev {
+				ok = false
+				return false
+			}
+			prev, first = k, false
+			return true
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangeMatchesOracle checks Ascend against a sorted-slice oracle on
+// random data and random ranges.
+func TestRangeMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	var all []string
+	for i := 0; i < 5000; i++ {
+		k := keycodec.Int64(rng.Int63n(800))
+		tr.Insert(k, nil)
+		all = append(all, k)
+	}
+	sort.Strings(all)
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Int63n(800), rng.Int63n(800)
+		if a > b {
+			a, b = b, a
+		}
+		lo, hi := keycodec.Int64(a), keycodec.Int64(b)
+		want := 0
+		for _, k := range all {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := 0
+		tr.Ascend(lo, hi, func(string, []byte) bool { got++; return true })
+		if got != want {
+			t.Fatalf("range [%d,%d]: got %d entries, want %d", a, b, got, want)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keycodec.Int64(int64(i*2654435761)), nil)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(keycodec.Int64(i), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keycodec.Int64(int64(i % 100000)))
+	}
+}

@@ -1,0 +1,144 @@
+package claims
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Disease codes and medicine classes used by the Fig. 9 queries.
+const (
+	DiseaseHypertension = "I10"   // Q1
+	DiseaseAcne         = "L70"   // Q2
+	DiseaseDiabetes     = "E11"   // Q3
+	ClassAntihyper      = "AHT"   // antihypertensive medicines
+	ClassAntimicrobial  = "AM"    // antimicrobial medicines
+	ClassGLP1           = "GLP1"  // GLP-1 receptor medicines
+	ClassOther          = "OTHER" // background prescriptions
+)
+
+// Config parameterizes the synthetic claims corpus.
+type Config struct {
+	// Claims is the number of claims to generate.
+	Claims int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Corpus is a generated set of claims plus the ground truth needed by
+// oracles.
+type Corpus struct {
+	Config Config
+	Claims []*Claim
+}
+
+// condition describes one disease and its correlated medicine class.
+type condition struct {
+	disease     string
+	diseaseName string
+	class       string
+	prevalence  float64 // fraction of claims diagnosed
+	treatRate   float64 // P(correlated medicine | disease)
+}
+
+var conditions = []condition{
+	{DiseaseHypertension, "hypertension", ClassAntihyper, 0.20, 0.70},
+	{DiseaseAcne, "acne", ClassAntimicrobial, 0.05, 0.60},
+	{DiseaseDiabetes, "diabetes", ClassGLP1, 0.10, 0.35},
+}
+
+// Generate produces a deterministic corpus with the prevalence and
+// treatment statistics above, plus background diseases, medicines, and
+// treatments so claims have realistic nested shapes.
+func Generate(cfg Config) *Corpus {
+	if cfg.Claims <= 0 {
+		cfg.Claims = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	corpus := &Corpus{Config: cfg}
+	for i := 0; i < cfg.Claims; i++ {
+		c := &Claim{ID: int64(i + 1)}
+		c.IR = IR{
+			InstitutionID: int64(1 + rng.Intn(500)),
+			Type:          TypePiecework,
+			Name:          fmt.Sprintf("Hospital-%03d", rng.Intn(500)),
+		}
+		if rng.Float64() < 0.3 { // DPC claims have a different IR layout
+			c.IR.Type = TypeDPC
+			c.IR.DPCCode = fmt.Sprintf("DPC%04d", rng.Intn(3000))
+		}
+		cat := "outpatient"
+		if rng.Float64() < 0.25 {
+			cat = "inpatient"
+		}
+		sex := "F"
+		if rng.Intn(2) == 0 {
+			sex = "M"
+		}
+		c.RE = RE{
+			PatientID: int64(1 + rng.Intn(cfg.Claims*3)),
+			Category:  cat,
+			Age:       rng.Intn(100),
+			Sex:       sex,
+		}
+		c.HO = HO{InsurerID: int64(1 + rng.Intn(50)), Points: int64(500 + rng.Intn(49500))}
+
+		// Treatments: 1–5 SI rows.
+		for n := 1 + rng.Intn(5); n > 0; n-- {
+			c.SI = append(c.SI, SI{
+				Code:   fmt.Sprintf("T%05d", rng.Intn(20000)),
+				Points: int64(10 + rng.Intn(3000)),
+				Count:  1 + rng.Intn(3),
+			})
+		}
+
+		// Conditions of interest, with correlated prescriptions.
+		for _, cond := range conditions {
+			if rng.Float64() >= cond.prevalence {
+				continue
+			}
+			c.SY = append(c.SY, SY{Code: cond.disease, Name: cond.diseaseName, Main: len(c.SY) == 0})
+			if rng.Float64() < cond.treatRate {
+				c.IY = append(c.IY, IY{
+					Code:   fmt.Sprintf("M-%s-%03d", cond.class, rng.Intn(40)),
+					Class:  cond.class,
+					Points: int64(50 + rng.Intn(2000)),
+					Count:  1 + rng.Intn(30),
+				})
+			}
+		}
+		// Background diseases (0–2, deduped against conditions by code
+		// space) and medicines (0–3).
+		for n := rng.Intn(3); n > 0; n-- {
+			code := fmt.Sprintf("B%03d", rng.Intn(400))
+			if !c.HasDisease(code) {
+				c.SY = append(c.SY, SY{Code: code, Name: "background", Main: len(c.SY) == 0})
+			}
+		}
+		for n := rng.Intn(4); n > 0; n-- {
+			c.IY = append(c.IY, IY{
+				Code:   fmt.Sprintf("M-OTH-%04d", rng.Intn(5000)),
+				Class:  ClassOther,
+				Points: int64(20 + rng.Intn(1500)),
+				Count:  1 + rng.Intn(14),
+			})
+		}
+		// Every claim must carry at least one diagnosis.
+		if len(c.SY) == 0 {
+			c.SY = append(c.SY, SY{Code: "Z000", Name: "checkup", Main: true})
+		}
+		corpus.Claims = append(corpus.Claims, c)
+	}
+	return corpus
+}
+
+// Oracle computes the ground truth for a (disease, medicine class) query:
+// the number of qualifying claims and their total expense points.
+func (co *Corpus) Oracle(disease, class string) (claims int64, expense int64) {
+	for _, c := range co.Claims {
+		if c.HasDisease(disease) && c.HasMedicineClass(class) {
+			claims++
+			expense += c.HO.Points
+		}
+	}
+	return claims, expense
+}

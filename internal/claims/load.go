@@ -1,0 +1,236 @@
+package claims
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+)
+
+// Catalog names for the two systems of Fig. 9.
+const (
+	// LakeHarbor arm: raw claims plus a post hoc disease index.
+	FileClaims    = "claims"
+	IdxClaimsDise = "claims_disease_idx"
+
+	// Warehouse arm: the claims normalized into relational tables.
+	FileWClaims    = "w_claims"
+	FileWDiseases  = "w_diseases"
+	FileWMedicines = "w_medicines"
+	FileWTreats    = "w_treatments"
+	IdxWDiseCode   = "w_diseases_code_idx"
+)
+
+// ClaimKey encodes a claim id as a record key.
+func ClaimKey(id int64) lake.Key { return keycodec.Int64(id) }
+
+// DiseaseKey encodes a disease code as an index key.
+func DiseaseKey(code string) lake.Key { return keycodec.String(code) }
+
+// LoadLake stores the corpus the LakeHarbor way: whole claims in raw form,
+// keyed and partitioned by claim id, plus a registered access method that
+// lazily builds a global disease-code index (one entry per diagnosed
+// disease of each claim — a multi-valued key extracted with
+// schema-on-read).
+func LoadLake(ctx context.Context, cluster *dfs.Cluster, corpus *Corpus, partitions int) error {
+	if partitions <= 0 {
+		partitions = 2 * cluster.NumNodes()
+	}
+	f, err := cluster.CreateFile(FileClaims, dfs.Btree, partitions, lake.HashPartitioner{})
+	if err != nil {
+		return err
+	}
+	for _, c := range corpus.Claims {
+		k := ClaimKey(c.ID)
+		if err := dfs.AppendRouted(ctx, f, k, lake.Record{Key: k, Data: []byte(c.Raw())}); err != nil {
+			return err
+		}
+	}
+	_, err = indexer.Build(ctx, cluster, DiseaseIndexSpec())
+	return err
+}
+
+// DiseaseIndexSpec is the access-method registration for the disease index:
+// the schema-on-read functions that interpret a raw claim and emit its
+// (partition key, index keys) pairs, per §III-D.
+func DiseaseIndexSpec() indexer.Spec {
+	return indexer.Spec{
+		Name: IdxClaimsDise,
+		Base: FileClaims,
+		Kind: indexer.Global,
+		PartKey: func(rec lake.Record) (lake.Key, error) {
+			return rec.Key, nil // claims are partitioned by their own key
+		},
+		Keys: func(rec lake.Record) ([]lake.Key, error) {
+			id, err := keycodec.DecodeInt64(rec.Key)
+			if err != nil {
+				return nil, err
+			}
+			c, err := Parse(id, rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			seen := map[string]bool{}
+			var keys []lake.Key
+			for _, d := range c.SY {
+				if seen[d.Code] {
+					continue
+				}
+				seen[d.Code] = true
+				keys = append(keys, DiseaseKey(d.Code))
+			}
+			return keys, nil
+		},
+	}
+}
+
+// Warehouse row renderers (comma-separated normalized rows).
+
+func wClaimRow(c *Claim) string {
+	return fmt.Sprintf("%d,%d,%d,%d", c.ID, c.IR.InstitutionID, c.RE.PatientID, c.HO.Points)
+}
+
+func wDiseaseRow(c *Claim, d SY) string {
+	main := 0
+	if d.Main {
+		main = 1
+	}
+	return fmt.Sprintf("%d,%s,%d", c.ID, d.Code, main)
+}
+
+func wMedicineRow(c *Claim, y IY) string {
+	return fmt.Sprintf("%d,%s,%s,%d,%d", c.ID, y.Code, y.Class, y.Points, y.Count)
+}
+
+func wTreatRow(c *Claim, s SI) string {
+	return fmt.Sprintf("%d,%s,%d,%d", c.ID, s.Code, s.Points, s.Count)
+}
+
+// Warehouse row interpreters (schema-on-read over the normalized rows; the
+// warehouse engine itself is the same fine-grained parallel executor).
+
+func splitCSV(rec lake.Record, n int, table string) ([]string, error) {
+	f := strings.Split(string(rec.Data), ",")
+	if len(f) != n {
+		return nil, fmt.Errorf("claims: %s row has %d fields, want %d: %q", table, len(f), n, rec.Data)
+	}
+	return f, nil
+}
+
+// InterpWClaim interprets w_claims rows: claim_id,institution,patient,expense.
+func InterpWClaim(rec lake.Record) (core.Fields, error) {
+	f, err := splitCSV(rec, 4, FileWClaims)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fields{"claim_id": f[0], "institution": f[1], "patient": f[2], "expense": f[3]}, nil
+}
+
+// InterpWDisease interprets w_diseases rows: claim_id,disease_code,main.
+func InterpWDisease(rec lake.Record) (core.Fields, error) {
+	f, err := splitCSV(rec, 3, FileWDiseases)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fields{"claim_id": f[0], "disease_code": f[1], "main": f[2]}, nil
+}
+
+// InterpWMedicine interprets w_medicines rows:
+// claim_id,med_code,med_class,med_points,med_count.
+func InterpWMedicine(rec lake.Record) (core.Fields, error) {
+	f, err := splitCSV(rec, 5, FileWMedicines)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fields{"claim_id": f[0], "med_code": f[1], "med_class": f[2], "med_points": f[3], "med_count": f[4]}, nil
+}
+
+// EncodeClaimID encodes the claim_id field value as a key.
+func EncodeClaimID(v string) (lake.Key, error) {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("claims: bad claim id %q: %w", v, err)
+	}
+	return keycodec.Int64(n), nil
+}
+
+// LoadWarehouse normalizes the corpus into relational tables — the paper's
+// first approach in §IV ("normalizing the data based on the relational
+// model and storing it in a data warehouse system") — and builds the global
+// disease-code index its plans probe. Child tables are partitioned by
+// claim id and keyed by (claim id, seq) so a claim's rows are fetched by
+// prefix range.
+func LoadWarehouse(ctx context.Context, cluster *dfs.Cluster, corpus *Corpus, partitions int) error {
+	if partitions <= 0 {
+		partitions = 2 * cluster.NumNodes()
+	}
+	mk := func(name string) (lake.File, error) {
+		return cluster.CreateFile(name, dfs.Btree, partitions, lake.HashPartitioner{})
+	}
+	wc, err := mk(FileWClaims)
+	if err != nil {
+		return err
+	}
+	wd, err := mk(FileWDiseases)
+	if err != nil {
+		return err
+	}
+	wm, err := mk(FileWMedicines)
+	if err != nil {
+		return err
+	}
+	wt, err := mk(FileWTreats)
+	if err != nil {
+		return err
+	}
+	for _, c := range corpus.Claims {
+		ck := ClaimKey(c.ID)
+		if err := dfs.AppendRouted(ctx, wc, ck, lake.Record{Key: ck, Data: []byte(wClaimRow(c))}); err != nil {
+			return err
+		}
+		for i, d := range c.SY {
+			k := keycodec.Tuple(ck, keycodec.Int64(int64(i)))
+			if err := dfs.AppendRouted(ctx, wd, ck, lake.Record{Key: k, Data: []byte(wDiseaseRow(c, d))}); err != nil {
+				return err
+			}
+		}
+		for i, y := range c.IY {
+			k := keycodec.Tuple(ck, keycodec.Int64(int64(i)))
+			if err := dfs.AppendRouted(ctx, wm, ck, lake.Record{Key: k, Data: []byte(wMedicineRow(c, y))}); err != nil {
+				return err
+			}
+		}
+		for i, s := range c.SI {
+			k := keycodec.Tuple(ck, keycodec.Int64(int64(i)))
+			if err := dfs.AppendRouted(ctx, wt, ck, lake.Record{Key: k, Data: []byte(wTreatRow(c, s))}); err != nil {
+				return err
+			}
+		}
+	}
+	_, err = indexer.Build(ctx, cluster, indexer.Spec{
+		Name: IdxWDiseCode,
+		Base: FileWDiseases,
+		Kind: indexer.Global,
+		PartKey: func(rec lake.Record) (lake.Key, error) {
+			f, err := InterpWDisease(rec)
+			if err != nil {
+				return "", err
+			}
+			return EncodeClaimID(f["claim_id"])
+		},
+		Keys: func(rec lake.Record) ([]lake.Key, error) {
+			f, err := InterpWDisease(rec)
+			if err != nil {
+				return nil, err
+			}
+			return []lake.Key{DiseaseKey(f["disease_code"])}, nil
+		},
+	})
+	return err
+}

@@ -1,0 +1,341 @@
+// Package columnar is a minimal open columnar file format in the spirit of
+// Apache Parquet: typed schema, row groups, per-column chunks with
+// dictionary encoding for strings, and per-chunk min/max statistics (zone
+// maps) that let scans skip row groups a predicate cannot match.
+//
+// It plays two roles in this reproduction. First, it is the "open file
+// format" substrate the paper's data-lake context assumes (§I: data lakes
+// "hold datasets in open file formats such as Apache Parquet"): the
+// baseline can scan columnar files with predicate pushdown and group
+// pruning. Second, it demonstrates the case study's negative result (§IV):
+// the dynamically-defined insurance-claim records "cannot properly
+// express[ed]" in such a format — InferSchema fails on them, which is
+// exactly why LakeHarbor stores them raw and applies schema-on-read.
+//
+// File layout:
+//
+//	magic "COLF1\n"
+//	row groups, back to back; each group holds one chunk per column:
+//	  chunk = encoding byte, stats(min,max), uint32 payload len, payload
+//	footer:
+//	  uint32 group count; per group: uint64 offset, uint32 row count
+//	  uint32 column count; per column: string name, byte type
+//	  uint64 total rows
+//	  uint32 footer length, magic "COLFEND1"
+//
+// Integers are little-endian; chunk integer payloads are zigzag varints;
+// string chunks are dictionary-encoded when the dictionary is smaller than
+// the plain payload.
+package columnar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Type is a column's value type.
+type Type byte
+
+const (
+	// TInt64 is a signed 64-bit integer column.
+	TInt64 Type = 1
+	// TFloat64 is a 64-bit float column.
+	TFloat64 Type = 2
+	// TString is a byte-string column.
+	TString Type = 3
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TInt64:
+		return "int64"
+	case TFloat64:
+		return "float64"
+	case TString:
+		return "string"
+	}
+	return fmt.Sprintf("type(%d)", byte(t))
+}
+
+// Column is one schema column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered column list.
+type Schema struct {
+	Columns []Column
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is one typed cell.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+}
+
+// Int64Value wraps an int64.
+func Int64Value(v int64) Value { return Value{T: TInt64, I: v} }
+
+// Float64Value wraps a float64.
+func Float64Value(v float64) Value { return Value{T: TFloat64, F: v} }
+
+// StringValue wraps a string.
+func StringValue(v string) Value { return Value{T: TString, S: v} }
+
+// Compare orders two values of the same type: -1, 0, or +1.
+func Compare(a, b Value) int {
+	switch a.T {
+	case TInt64:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+	case TFloat64:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+	case TString:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.T {
+	case TInt64:
+		return fmt.Sprint(v.I)
+	case TFloat64:
+		return fmt.Sprint(v.F)
+	case TString:
+		return v.S
+	}
+	return "<invalid>"
+}
+
+const (
+	fileMagic = "COLF1\n"
+	tailMagic = "COLFEND1"
+
+	encVarint     byte = 1
+	encPlainFloat byte = 2
+	encPlainStr   byte = 3
+	encDictStr    byte = 4
+)
+
+// DefaultRowGroupSize is the writer's default rows-per-group.
+const DefaultRowGroupSize = 4096
+
+// maxSaneLen bounds length prefixes read from untrusted files.
+const maxSaneLen = 1 << 30
+
+// InferSchema derives a fixed schema from delimited raw records, as a
+// hypothetical "convert the lake to columnar" step would. It fails —
+// deliberately, mirroring the paper's §IV observation — when records do
+// not share one flat field layout, as with the dynamically-defined
+// insurance claims.
+func InferSchema(rows [][]string, names []string) (Schema, error) {
+	if len(rows) == 0 {
+		return Schema{}, fmt.Errorf("columnar: no rows to infer from")
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
+			return Schema{}, fmt.Errorf(
+				"columnar: row %d has %d fields but row 0 has %d: records are dynamically defined and cannot be expressed in a fixed columnar schema",
+				i, len(r), width)
+		}
+	}
+	if len(names) != width {
+		return Schema{}, fmt.Errorf("columnar: %d names for %d fields", len(names), width)
+	}
+	s := Schema{}
+	for col := 0; col < width; col++ {
+		t := TInt64
+		for _, r := range rows {
+			if !looksInt(r[col]) {
+				if looksFloat(r[col]) {
+					if t == TInt64 {
+						t = TFloat64
+					}
+				} else {
+					t = TString
+					break
+				}
+			}
+		}
+		s.Columns = append(s.Columns, Column{Name: names[col], Type: t})
+	}
+	return s, nil
+}
+
+func looksInt(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '-' {
+		i = 1
+		if len(s) == 1 {
+			return false
+		}
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func looksFloat(s string) bool {
+	dot := false
+	i := 0
+	if len(s) > 0 && s[0] == '-' {
+		i = 1
+	}
+	if i >= len(s) {
+		return false
+	}
+	for ; i < len(s); i++ {
+		switch {
+		case s[i] >= '0' && s[i] <= '9':
+		case s[i] == '.' && !dot:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// binary helpers
+
+func putU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func putU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func putBytes(w io.Writer, b []byte) error {
+	if err := putU32(w, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func putValue(w io.Writer, v Value) error {
+	switch v.T {
+	case TInt64:
+		return putU64(w, uint64(v.I))
+	case TFloat64:
+		return putU64(w, math.Float64bits(v.F))
+	case TString:
+		return putBytes(w, []byte(v.S))
+	}
+	return fmt.Errorf("columnar: invalid value type %d", v.T)
+}
+
+type sliceReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *sliceReader) u32() (uint32, error) {
+	if r.pos+4 > len(r.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *sliceReader) u64() (uint64, error) {
+	if r.pos+8 > len(r.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *sliceReader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > maxSaneLen || r.pos+int(n) > len(r.b) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+func (r *sliceReader) byte1() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.b[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *sliceReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *sliceReader) value(t Type) (Value, error) {
+	switch t {
+	case TInt64:
+		u, err := r.u64()
+		return Value{T: TInt64, I: int64(u)}, err
+	case TFloat64:
+		u, err := r.u64()
+		return Value{T: TFloat64, F: math.Float64frombits(u)}, err
+	case TString:
+		b, err := r.bytes()
+		return Value{T: TString, S: string(b)}, err
+	}
+	return Value{}, fmt.Errorf("columnar: invalid type %d", t)
+}

@@ -1,0 +1,319 @@
+package columnar
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lakeharbor/internal/claims"
+	"lakeharbor/internal/tpch"
+)
+
+var testSchema = Schema{Columns: []Column{
+	{Name: "id", Type: TInt64},
+	{Name: "price", Type: TFloat64},
+	{Name: "city", Type: TString},
+}}
+
+func writeRows(t testing.TB, groupSize, n int) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testSchema, groupSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := []string{"tokyo", "osaka", "nagoya"}
+	for i := 0; i < n; i++ {
+		err := w.WriteRow(
+			Int64Value(int64(i)),
+			Float64Value(float64(i)*1.5),
+			StringValue(cities[i%3]),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := writeRows(t, 100, 1000)
+	if r.NumRows() != 1000 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	if r.NumRowGroups() != 10 {
+		t.Fatalf("NumRowGroups = %d, want 10", r.NumRowGroups())
+	}
+	if len(r.Schema().Columns) != 3 || r.Schema().Columns[2].Name != "city" {
+		t.Fatalf("schema round trip: %+v", r.Schema())
+	}
+	i := 0
+	err := r.Scan(nil, []string{"id", "price", "city"}, func(row []Value) error {
+		if row[0].I != int64(i) {
+			return fmt.Errorf("row %d: id %d", i, row[0].I)
+		}
+		if row[1].F != float64(i)*1.5 {
+			return fmt.Errorf("row %d: price %g", i, row[1].F)
+		}
+		want := []string{"tokyo", "osaka", "nagoya"}[i%3]
+		if row[2].S != want {
+			return fmt.Errorf("row %d: city %q", i, row[2].S)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1000 {
+		t.Fatalf("scanned %d rows", i)
+	}
+}
+
+func TestProjectionDecodesOnlyRequestedColumns(t *testing.T) {
+	r := writeRows(t, 128, 500)
+	n := 0
+	err := r.Scan(nil, []string{"city"}, func(row []Value) error {
+		if len(row) != 1 || row[0].T != TString {
+			return fmt.Errorf("bad projected row %v", row)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("projected scan saw %d rows", n)
+	}
+	if err := r.Scan(nil, []string{"ghost"}, func([]Value) error { return nil }); err == nil {
+		t.Error("unknown projection column accepted")
+	}
+}
+
+func TestZoneMapsAndPruning(t *testing.T) {
+	// ids are monotonically increasing, so each group covers a disjoint
+	// id range and pruning must narrow to exactly the right groups.
+	r := writeRows(t, 100, 1000)
+	minV, maxV, err := r.GroupStats(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minV.I != 300 || maxV.I != 399 {
+		t.Fatalf("group 3 stats = [%d, %d], want [300, 399]", minV.I, maxV.I)
+	}
+	groups, err := r.PruneRange(0, Int64Value(250), Int64Value(449))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 || groups[0] != 2 || groups[2] != 4 {
+		t.Fatalf("PruneRange = %v, want [2 3 4]", groups)
+	}
+	// Scanning only the pruned groups with a residual predicate yields
+	// exactly the matching rows.
+	n := 0
+	err = r.Scan(groups, []string{"id"}, func(row []Value) error {
+		if row[0].I >= 250 && row[0].I <= 449 {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("pruned scan matched %d rows, want 200", n)
+	}
+	// A range outside the data prunes everything.
+	groups, err = r.PruneRange(0, Int64Value(5000), Int64Value(6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("out-of-range prune kept %v", groups)
+	}
+}
+
+func TestDictionaryEncodingKicksIn(t *testing.T) {
+	// Low-cardinality strings must dictionary-encode to a smaller file
+	// than high-cardinality ones of the same total length.
+	write := func(city func(i int) string) int {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, Schema{Columns: []Column{{Name: "c", Type: TString}}}, 1024)
+		for i := 0; i < 4000; i++ {
+			w.WriteRow(StringValue(city(i)))
+		}
+		w.Close()
+		return buf.Len()
+	}
+	low := write(func(i int) string { return fmt.Sprintf("city-%08d", i%3) })
+	high := write(func(i int) string { return fmt.Sprintf("city-%08d", i) })
+	if low >= high/2 {
+		t.Errorf("dictionary encoding ineffective: low-card %d bytes vs high-card %d", low, high)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Schema{}, 0); err == nil {
+		t.Error("empty schema accepted")
+	}
+	w, _ := NewWriter(&buf, testSchema, 0)
+	if err := w.WriteRow(Int64Value(1)); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := w.WriteRow(StringValue("x"), Float64Value(1), StringValue("y")); err == nil {
+		t.Error("mistyped row accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := w.WriteRow(Int64Value(1), Float64Value(1), StringValue("x")); err == nil {
+		t.Error("write after close accepted")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testSchema, 16)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 0 || r.NumRowGroups() != 0 {
+		t.Fatalf("empty file: rows=%d groups=%d", r.NumRows(), r.NumRowGroups())
+	}
+	n := 0
+	r.Scan(nil, []string{"id"}, func([]Value) error { n++; return nil })
+	if n != 0 {
+		t.Error("empty file scanned rows")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open([]byte("short")); err == nil {
+		t.Error("short file accepted")
+	}
+	if _, err := Open([]byte("XXXXXXWRONGMAGICbutlongenough_andmore_padding")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	r := writeRows(t, 64, 100)
+	cut := r.data[:len(r.data)-4]
+	if _, err := Open(cut); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestQuickRoundTripInt64(t *testing.T) {
+	schema := Schema{Columns: []Column{{Name: "v", Type: TInt64}}}
+	f := func(vals []int64) bool {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, schema, 7) // odd group size exercises boundaries
+		for _, v := range vals {
+			if err := w.WriteRow(Int64Value(v)); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := Open(buf.Bytes())
+		if err != nil {
+			return false
+		}
+		var got []int64
+		if err := r.Scan(nil, []string{"v"}, func(row []Value) error {
+			got = append(got, row[0].I)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTPCHRowsFitColumnar: flat relational rows (the paper's data-warehouse
+// side) infer a schema and round-trip through the columnar format.
+func TestTPCHRowsFitColumnar(t *testing.T) {
+	ds := tpch.Generate(tpch.Config{SF: 0.02, Seed: 3})
+	var rows [][]string
+	for _, o := range ds.Orders {
+		rows = append(rows, strings.Split(o.Raw(), "|"))
+	}
+	schema, err := InferSchema(rows, []string{"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"})
+	if err != nil {
+		t.Fatalf("TPC-H rows must fit a fixed schema: %v", err)
+	}
+	if schema.Columns[0].Type != TInt64 || schema.Columns[3].Type != TFloat64 {
+		t.Fatalf("inferred schema wrong: %+v", schema)
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, schema, 256)
+	for _, r := range rows {
+		var id, ck, od int64
+		var tp float64
+		fmt.Sscan(r[0], &id)
+		fmt.Sscan(r[1], &ck)
+		fmt.Sscan(r[2], &od)
+		fmt.Sscan(r[3], &tp)
+		if err := w.WriteRow(Int64Value(id), Int64Value(ck), Int64Value(od), Float64Value(tp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	r, err := Open(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != uint64(len(rows)) {
+		t.Fatalf("columnar file has %d rows, want %d", r.NumRows(), len(rows))
+	}
+}
+
+// TestClaimsCannotBeColumnar reproduces §IV's negative result: the nested,
+// dynamically-defined claim sub-records do not share a flat layout, so no
+// fixed columnar schema exists for them.
+func TestClaimsCannotBeColumnar(t *testing.T) {
+	corpus := claims.Generate(claims.Config{Claims: 50, Seed: 4})
+	var rows [][]string
+	for _, c := range corpus.Claims {
+		for _, line := range strings.Split(strings.TrimRight(c.Raw(), "\n"), "\n") {
+			rows = append(rows, strings.Split(line, ","))
+		}
+	}
+	_, err := InferSchema(rows, nil)
+	if err == nil {
+		t.Fatal("dynamically-defined claim records must not fit a fixed columnar schema")
+	}
+	if !strings.Contains(err.Error(), "dynamically defined") {
+		t.Errorf("error should explain the §IV failure mode: %v", err)
+	}
+}

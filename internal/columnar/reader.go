@@ -1,0 +1,277 @@
+package columnar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Reader opens a columnar file held in memory (the dfs substrate keeps
+// partitions in memory; a disk-backed variant would mmap instead).
+type Reader struct {
+	data   []byte
+	schema Schema
+	groups []groupMeta
+	rows   uint64
+}
+
+// Open parses the file's footer and prepares group access.
+func Open(data []byte) (*Reader, error) {
+	if len(data) < len(fileMagic)+len(tailMagic)+4 {
+		return nil, fmt.Errorf("columnar: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("columnar: bad magic")
+	}
+	if string(data[len(data)-len(tailMagic):]) != tailMagic {
+		return nil, fmt.Errorf("columnar: bad tail magic (truncated file?)")
+	}
+	flenPos := len(data) - len(tailMagic) - 4
+	flen := binary.LittleEndian.Uint32(data[flenPos:])
+	if uint64(flen) > uint64(flenPos) {
+		return nil, fmt.Errorf("columnar: absurd footer length %d", flen)
+	}
+	footer := &sliceReader{b: data[uint32(flenPos)-flen : flenPos]}
+
+	r := &Reader{data: data}
+	nGroups, err := footer.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nGroups) > maxSaneLen {
+		return nil, fmt.Errorf("columnar: absurd group count %d", nGroups)
+	}
+	for i := uint32(0); i < nGroups; i++ {
+		off, err := footer.u64()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := footer.u32()
+		if err != nil {
+			return nil, err
+		}
+		r.groups = append(r.groups, groupMeta{offset: off, rows: rows})
+	}
+	nCols, err := footer.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nCols) > maxSaneLen {
+		return nil, fmt.Errorf("columnar: absurd column count %d", nCols)
+	}
+	for i := uint32(0); i < nCols; i++ {
+		name, err := footer.bytes()
+		if err != nil {
+			return nil, err
+		}
+		t, err := footer.byte1()
+		if err != nil {
+			return nil, err
+		}
+		r.schema.Columns = append(r.schema.Columns, Column{Name: string(name), Type: Type(t)})
+	}
+	r.rows, err = footer.u64()
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Schema returns the file's schema.
+func (r *Reader) Schema() Schema { return r.schema }
+
+// NumRows returns the total row count.
+func (r *Reader) NumRows() uint64 { return r.rows }
+
+// NumRowGroups returns the row-group count.
+func (r *Reader) NumRowGroups() int { return len(r.groups) }
+
+// chunkAt walks group g's chunks up to column col and returns a reader
+// positioned at that chunk.
+func (r *Reader) chunkAt(g, col int) (*sliceReader, error) {
+	if g < 0 || g >= len(r.groups) {
+		return nil, fmt.Errorf("columnar: group %d out of range", g)
+	}
+	if col < 0 || col >= len(r.schema.Columns) {
+		return nil, fmt.Errorf("columnar: column %d out of range", col)
+	}
+	sr := &sliceReader{b: r.data, pos: int(r.groups[g].offset)}
+	for c := 0; c < col; c++ {
+		if err := skipChunk(sr, r.schema.Columns[c].Type); err != nil {
+			return nil, err
+		}
+	}
+	return sr, nil
+}
+
+func skipChunk(sr *sliceReader, t Type) error {
+	if _, err := sr.byte1(); err != nil {
+		return err
+	}
+	if _, err := sr.value(t); err != nil { // min
+		return err
+	}
+	if _, err := sr.value(t); err != nil { // max
+		return err
+	}
+	_, err := sr.bytes()
+	return err
+}
+
+// GroupStats returns the zone map (min, max) of column col in group g.
+func (r *Reader) GroupStats(g, col int) (minV, maxV Value, err error) {
+	sr, err := r.chunkAt(g, col)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	t := r.schema.Columns[col].Type
+	if _, err := sr.byte1(); err != nil {
+		return Value{}, Value{}, err
+	}
+	minV, err = sr.value(t)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	maxV, err = sr.value(t)
+	return minV, maxV, err
+}
+
+// PruneRange returns the groups whose zone maps intersect [lo, hi] on
+// column col: the groups a range scan must read.
+func (r *Reader) PruneRange(col int, lo, hi Value) ([]int, error) {
+	var out []int
+	for g := range r.groups {
+		minV, maxV, err := r.GroupStats(g, col)
+		if err != nil {
+			return nil, err
+		}
+		if Compare(maxV, lo) < 0 || Compare(minV, hi) > 0 {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// readColumn decodes the full column chunk of group g.
+func (r *Reader) readColumn(g, col int) ([]Value, error) {
+	sr, err := r.chunkAt(g, col)
+	if err != nil {
+		return nil, err
+	}
+	t := r.schema.Columns[col].Type
+	enc, err := sr.byte1()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sr.value(t); err != nil { // min
+		return nil, err
+	}
+	if _, err := sr.value(t); err != nil { // max
+		return nil, err
+	}
+	payload, err := sr.bytes()
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.groups[g].rows)
+	out := make([]Value, 0, n)
+	pr := &sliceReader{b: payload}
+	switch enc {
+	case encVarint:
+		for i := 0; i < n; i++ {
+			v, err := pr.varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Int64Value(v))
+		}
+	case encPlainFloat:
+		for i := 0; i < n; i++ {
+			u, err := pr.u64()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Float64Value(math.Float64frombits(u)))
+		}
+	case encPlainStr:
+		for i := 0; i < n; i++ {
+			b, err := pr.bytes()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, StringValue(string(b)))
+		}
+	case encDictStr:
+		count, err := pr.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(count) > maxSaneLen {
+			return nil, fmt.Errorf("columnar: absurd dictionary size %d", count)
+		}
+		dict := make([]string, count)
+		for i := range dict {
+			b, err := pr.bytes()
+			if err != nil {
+				return nil, err
+			}
+			dict[i] = string(b)
+		}
+		for i := 0; i < n; i++ {
+			idx, err := pr.varint()
+			if err != nil {
+				return nil, err
+			}
+			if idx < 0 || idx >= int64(len(dict)) {
+				return nil, fmt.Errorf("columnar: dictionary index %d out of range", idx)
+			}
+			out = append(out, StringValue(dict[idx]))
+		}
+	default:
+		return nil, fmt.Errorf("columnar: unknown encoding %d", enc)
+	}
+	return out, nil
+}
+
+// Scan reads the projected columns of every group in groups (nil = all),
+// calling fn once per row with values in the projection's order. This is
+// the columnar read path: only projected columns are decoded, and group
+// pruning happens before Scan via PruneRange.
+func (r *Reader) Scan(groups []int, projection []string, fn func(row []Value) error) error {
+	cols := make([]int, len(projection))
+	for i, name := range projection {
+		cols[i] = r.schema.ColumnIndex(name)
+		if cols[i] < 0 {
+			return fmt.Errorf("columnar: no column %q", name)
+		}
+	}
+	if groups == nil {
+		for g := range r.groups {
+			groups = append(groups, g)
+		}
+	}
+	row := make([]Value, len(cols))
+	for _, g := range groups {
+		data := make([][]Value, len(cols))
+		for i, c := range cols {
+			vals, err := r.readColumn(g, c)
+			if err != nil {
+				return err
+			}
+			data[i] = vals
+		}
+		if g < 0 || g >= len(r.groups) {
+			return fmt.Errorf("columnar: group %d out of range", g)
+		}
+		for i := 0; i < int(r.groups[g].rows); i++ {
+			for c := range cols {
+				row[c] = data[c][i]
+			}
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

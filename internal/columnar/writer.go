@@ -1,0 +1,207 @@
+package columnar
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer streams rows into a columnar file, flushing a row group every
+// RowGroupSize rows.
+type Writer struct {
+	w      io.Writer
+	schema Schema
+	per    int
+
+	buf     [][]Value // pending rows
+	offset  uint64    // bytes written so far
+	groups  []groupMeta
+	rows    uint64
+	started bool
+	closed  bool
+}
+
+type groupMeta struct {
+	offset uint64
+	rows   uint32
+}
+
+// NewWriter starts a columnar file with the schema on w. rowGroupSize <= 0
+// selects DefaultRowGroupSize.
+func NewWriter(w io.Writer, schema Schema, rowGroupSize int) (*Writer, error) {
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("columnar: empty schema")
+	}
+	if rowGroupSize <= 0 {
+		rowGroupSize = DefaultRowGroupSize
+	}
+	return &Writer{w: w, schema: schema, per: rowGroupSize}, nil
+}
+
+// WriteRow appends one row; values must match the schema's types in order.
+func (wr *Writer) WriteRow(vals ...Value) error {
+	if wr.closed {
+		return fmt.Errorf("columnar: writer is closed")
+	}
+	if len(vals) != len(wr.schema.Columns) {
+		return fmt.Errorf("columnar: row has %d values, schema has %d columns", len(vals), len(wr.schema.Columns))
+	}
+	for i, v := range vals {
+		if v.T != wr.schema.Columns[i].Type {
+			return fmt.Errorf("columnar: column %q: value type %s, want %s",
+				wr.schema.Columns[i].Name, v.T, wr.schema.Columns[i].Type)
+		}
+	}
+	row := make([]Value, len(vals))
+	copy(row, vals)
+	wr.buf = append(wr.buf, row)
+	wr.rows++
+	if len(wr.buf) >= wr.per {
+		return wr.flushGroup()
+	}
+	return nil
+}
+
+func (wr *Writer) ensureMagic() error {
+	if wr.started {
+		return nil
+	}
+	wr.started = true
+	n, err := wr.w.Write([]byte(fileMagic))
+	wr.offset += uint64(n)
+	return err
+}
+
+func (wr *Writer) flushGroup() error {
+	if len(wr.buf) == 0 {
+		return nil
+	}
+	if err := wr.ensureMagic(); err != nil {
+		return err
+	}
+	var group bytes.Buffer
+	for col, c := range wr.schema.Columns {
+		if err := writeChunk(&group, c.Type, wr.buf, col); err != nil {
+			return err
+		}
+	}
+	wr.groups = append(wr.groups, groupMeta{offset: wr.offset, rows: uint32(len(wr.buf))})
+	n, err := wr.w.Write(group.Bytes())
+	wr.offset += uint64(n)
+	wr.buf = wr.buf[:0]
+	return err
+}
+
+// writeChunk encodes one column of the pending rows: encoding byte, min,
+// max, payload length, payload.
+func writeChunk(w *bytes.Buffer, t Type, rows [][]Value, col int) error {
+	minV, maxV := rows[0][col], rows[0][col]
+	for _, r := range rows[1:] {
+		if Compare(r[col], minV) < 0 {
+			minV = r[col]
+		}
+		if Compare(r[col], maxV) > 0 {
+			maxV = r[col]
+		}
+	}
+
+	var payload bytes.Buffer
+	var enc byte
+	switch t {
+	case TInt64:
+		enc = encVarint
+		var tmp [binary.MaxVarintLen64]byte
+		for _, r := range rows {
+			n := binary.PutVarint(tmp[:], r[col].I)
+			payload.Write(tmp[:n])
+		}
+	case TFloat64:
+		enc = encPlainFloat
+		for _, r := range rows {
+			if err := putU64(&payload, math.Float64bits(r[col].F)); err != nil {
+				return err
+			}
+		}
+	case TString:
+		// Build a dictionary; use it only if it is actually smaller.
+		dict := map[string]int{}
+		var entries []string
+		for _, r := range rows {
+			if _, ok := dict[r[col].S]; !ok {
+				dict[r[col].S] = len(entries)
+				entries = append(entries, r[col].S)
+			}
+		}
+		var dictBuf bytes.Buffer
+		putU32(&dictBuf, uint32(len(entries)))
+		for _, e := range entries {
+			putBytes(&dictBuf, []byte(e))
+		}
+		var tmp [binary.MaxVarintLen64]byte
+		for _, r := range rows {
+			n := binary.PutVarint(tmp[:], int64(dict[r[col].S]))
+			dictBuf.Write(tmp[:n])
+		}
+		var plainBuf bytes.Buffer
+		for _, r := range rows {
+			putBytes(&plainBuf, []byte(r[col].S))
+		}
+		if dictBuf.Len() < plainBuf.Len() {
+			enc = encDictStr
+			payload = dictBuf
+		} else {
+			enc = encPlainStr
+			payload = plainBuf
+		}
+	default:
+		return fmt.Errorf("columnar: invalid column type %d", t)
+	}
+
+	w.WriteByte(enc)
+	if err := putValue(w, minV); err != nil {
+		return err
+	}
+	if err := putValue(w, maxV); err != nil {
+		return err
+	}
+	return putBytes(w, payload.Bytes())
+}
+
+// Close flushes the final group and writes the footer. The Writer cannot be
+// used afterwards.
+func (wr *Writer) Close() error {
+	if wr.closed {
+		return nil
+	}
+	if err := wr.flushGroup(); err != nil {
+		return err
+	}
+	if err := wr.ensureMagic(); err != nil { // empty file still gets magic
+		return err
+	}
+	wr.closed = true
+
+	var footer bytes.Buffer
+	putU32(&footer, uint32(len(wr.groups)))
+	for _, g := range wr.groups {
+		putU64(&footer, g.offset)
+		putU32(&footer, g.rows)
+	}
+	putU32(&footer, uint32(len(wr.schema.Columns)))
+	for _, c := range wr.schema.Columns {
+		putBytes(&footer, []byte(c.Name))
+		footer.WriteByte(byte(c.Type))
+	}
+	putU64(&footer, wr.rows)
+
+	if _, err := wr.w.Write(footer.Bytes()); err != nil {
+		return err
+	}
+	if err := putU32(wr.w, uint32(footer.Len())); err != nil {
+		return err
+	}
+	_, err := wr.w.Write([]byte(tailMagic))
+	return err
+}

@@ -1,0 +1,62 @@
+package core
+
+import "sync"
+
+// taskQueue is the per-node input queue of Algorithm 1: unbounded and
+// multi-producer/multi-consumer. Unboundedness matters — workers enqueue to
+// their own node's queue while processing, so a bounded queue could
+// deadlock the pool.
+type taskQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []task
+	head   int
+	closed bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues t. Pushing to a closed queue is a no-op (the job is done or
+// failed; stragglers are dropped).
+func (q *taskQueue) push(t task) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, t)
+	q.cond.Signal()
+}
+
+// pop dequeues the next task, blocking while the queue is open and empty.
+// ok is false once the queue is closed and drained.
+func (q *taskQueue) pop() (t task, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head >= len(q.items) {
+		return task{}, false
+	}
+	t = q.items[q.head]
+	q.items[q.head] = task{} // drop the reference for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return t, true
+}
+
+// close wakes all waiters; pending items remain poppable until drained.
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := newTaskQueue()
+	for i := 0; i < 10; i++ {
+		q.push(task{stage: i})
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := q.pop()
+		if !ok || got.stage != i {
+			t.Fatalf("pop %d = (%v, %v)", i, got.stage, ok)
+		}
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newTaskQueue()
+	q.push(task{stage: 1})
+	q.close()
+	if got, ok := q.pop(); !ok || got.stage != 1 {
+		t.Fatalf("pop after close = (%v, %v), want item", got.stage, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on drained closed queue should report !ok")
+	}
+}
+
+func TestQueuePushAfterCloseDropped(t *testing.T) {
+	q := newTaskQueue()
+	q.close()
+	q.push(task{stage: 1})
+	if _, ok := q.pop(); ok {
+		t.Fatal("push after close should be dropped")
+	}
+}
+
+func TestQueueBlockingPopWakesOnPush(t *testing.T) {
+	q := newTaskQueue()
+	done := make(chan int, 1)
+	go func() {
+		tk, ok := q.pop()
+		if !ok {
+			done <- -1
+			return
+		}
+		done <- tk.stage
+	}()
+	q.push(task{stage: 7})
+	if got := <-done; got != 7 {
+		t.Fatalf("blocked pop got %d", got)
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := newTaskQueue()
+	const producers, perProducer, consumers = 8, 500, 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.push(task{stage: 1})
+			}
+		}()
+	}
+	var popped sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for c := 0; c < consumers; c++ {
+		popped.Add(1)
+		go func() {
+			defer popped.Done()
+			for {
+				_, ok := q.pop()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				total++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Give consumers time to drain, then close.
+	for {
+		q.mu.Lock()
+		drained := q.head >= len(q.items)
+		q.mu.Unlock()
+		if drained {
+			break
+		}
+	}
+	q.close()
+	popped.Wait()
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d tasks, want %d", total, producers*perProducer)
+	}
+}

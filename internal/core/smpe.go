@@ -1,0 +1,461 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lakeharbor/internal/lake"
+)
+
+// Topology abstracts the compute/storage layout the executor runs on; dfs's
+// Cluster implements it. Keeping it an interface preserves the separation of
+// compute and storage (§III-A).
+type Topology interface {
+	// NumNodes returns the number of compute nodes.
+	NumNodes() int
+	// OwnerNode returns the node hosting a partition.
+	OwnerNode(partition int) int
+	// Bind returns a context whose storage accesses are attributed to the
+	// given node (local vs remote pricing).
+	Bind(ctx context.Context, node int) context.Context
+}
+
+// Options tunes the executor.
+type Options struct {
+	// Threads is the per-node worker-pool size. The paper's default is
+	// 1000 (§III-C); 0 selects that default. 1 disables SMPE: each node
+	// processes its queue sequentially, leaving only the partitioned
+	// parallelism of the cluster — the paper's "ReDe (w/o SMPE)" arm.
+	Threads int
+	// InlineReferencers, when true (the paper's default), runs Referencers
+	// on the worker that produced their input record instead of
+	// dispatching them to the pool: referencers are CPU-light and
+	// switching threads for them only costs scheduling (§III-C).
+	InlineReferencers bool
+	// KeepRecords retains the records emitted by the final stage in
+	// Result.Records. Counting alone is cheaper for large results.
+	KeepRecords bool
+	// Each, if non-nil, is called for every result record, on the emitting
+	// node's workers. It must be safe for concurrent use.
+	Each func(node int, rec lake.Record) error
+	// MaxRetries re-executes a failed Dereferencer invocation up to this
+	// many additional times before failing the job — transient storage
+	// faults (a flaky disk, a brief partition) then never surface.
+	// Referencers are pure CPU and are not retried.
+	MaxRetries int
+	// RetryBackoff is slept between retries (0 = immediate).
+	RetryBackoff time.Duration
+}
+
+// DefaultThreads is the paper's default per-node thread-pool size.
+const DefaultThreads = 1000
+
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = DefaultThreads
+	}
+	return o
+}
+
+// Result reports a job execution.
+type Result struct {
+	// Count is the number of records emitted by the final stage.
+	Count int64
+	// Records holds the emitted records if Options.KeepRecords was set.
+	Records []lake.Record
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// StageTasks counts the tasks executed per stage (referencer stages
+	// stay zero when referencers run inline).
+	StageTasks []int64
+	// StageEmits counts the outputs each stage produced: records for
+	// Dereferencer stages, pointers for Referencer stages (counted even
+	// when referencers run inline).
+	StageEmits []int64
+}
+
+// task is one unit of work in a node's input queue: a pointer destined for
+// a Dereferencer stage, or (when referencers are not inlined) a record
+// destined for a Referencer stage.
+type task struct {
+	stage int
+	isRec bool
+	ptr   lake.Pointer
+	rec   lake.Record
+}
+
+// Execute runs the job with scalable massively parallel execution
+// (Algorithm 1): the job is distributed to every node, each node
+// dynamically decomposes its share into fine-grained tasks, and a per-node
+// worker pool executes them with up to Options.Threads-way parallelism.
+func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology, opts Options) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	e := &executor{
+		job:     job,
+		catalog: catalog,
+		topo:    topo,
+		opts:    opts,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	n := topo.NumNodes()
+	e.queues = make([]*taskQueue, n)
+	e.results = make([]nodeResult, n)
+	e.pools = make([]*nodePool, n)
+	for i := range e.queues {
+		e.queues[i] = newTaskQueue()
+	}
+	e.stageTasks = make([]atomic.Int64, len(job.Stages))
+	e.stageEmits = make([]atomic.Int64, len(job.Stages))
+
+	// Register the per-node pools ("distributing the data processing job
+	// to all the computing nodes"). Workers are spawned on demand up to
+	// Options.Threads per node — the paper reuses a standing pool; here
+	// each job grows its own, so a tiny job does not pay for a thousand
+	// idle workers.
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		tc := &TaskCtx{
+			Ctx:     topo.Bind(ctx, node),
+			Node:    node,
+			Nodes:   n,
+			Catalog: catalog,
+			Owner:   topo.OwnerNode,
+		}
+		e.pools[node] = &nodePool{max: int32(opts.Threads), wg: &wg, tc: tc, e: e, node: node}
+	}
+
+	// Seed the initial stage. Seeds without partition information are
+	// broadcast; routed seeds start on the node owning their partition.
+	// Enqueueing spawns the first workers.
+	for _, seed := range job.Seeds {
+		e.enqueuePointer(0 /* fromNode: seeds route to their owner */, 0, seed, true)
+	}
+
+	// Wait for global completion or failure, then stop the pools.
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		e.fail(ctx.Err())
+	}
+	for _, q := range e.queues {
+		q.close()
+	}
+	wg.Wait()
+
+	if err := e.firstErr(); err != nil {
+		return nil, fmt.Errorf("core: job %q: %w", job.Name, err)
+	}
+
+	res := &Result{
+		Elapsed:    time.Since(start),
+		StageTasks: make([]int64, len(job.Stages)),
+		StageEmits: make([]int64, len(job.Stages)),
+	}
+	for i := range e.stageTasks {
+		res.StageTasks[i] = e.stageTasks[i].Load()
+		res.StageEmits[i] = e.stageEmits[i].Load()
+	}
+	for i := range e.results {
+		res.Count += e.results[i].count
+		if opts.KeepRecords {
+			res.Records = append(res.Records, e.results[i].records...)
+		}
+	}
+	return res, nil
+}
+
+// executor holds the shared state of one Execute call.
+type executor struct {
+	job     *Job
+	catalog lake.Catalog
+	topo    Topology
+	opts    Options
+	cancel  context.CancelFunc
+
+	queues     []*taskQueue
+	pools      []*nodePool
+	inflight   atomic.Int64
+	stageTasks []atomic.Int64
+	stageEmits []atomic.Int64
+	results    []nodeResult
+
+	done     chan struct{}
+	doneOnce sync.Once
+	errOnce  sync.Once
+	errMu    sync.Mutex
+	err      error
+}
+
+// nodePool grows a node's worker set on demand, capped at max workers.
+type nodePool struct {
+	e       *executor
+	tc      *TaskCtx
+	wg      *sync.WaitGroup
+	node    int
+	max     int32
+	spawned atomic.Int32
+	idle    atomic.Int32
+}
+
+// maybeSpawn starts a new worker when no worker is idle and the pool has
+// headroom. It is called after every enqueue, so pools grow exactly as fast
+// as the queue outpaces them.
+func (p *nodePool) maybeSpawn() {
+	for {
+		if p.idle.Load() > 0 {
+			return
+		}
+		n := p.spawned.Load()
+		if n >= p.max {
+			return
+		}
+		if !p.spawned.CompareAndSwap(n, n+1) {
+			continue // raced with another spawner; re-check
+		}
+		p.wg.Add(1)
+		go p.worker()
+		return
+	}
+}
+
+func (p *nodePool) worker() {
+	defer p.wg.Done()
+	q := p.e.queues[p.node]
+	for {
+		p.idle.Add(1)
+		t, ok := q.pop()
+		p.idle.Add(-1)
+		if !ok {
+			return
+		}
+		p.e.process(p.tc, t)
+		p.e.finish()
+	}
+}
+
+// nodeResult is padded per-node result state to avoid cross-node
+// contention on the hot collect path.
+type nodeResult struct {
+	mu      sync.Mutex
+	count   int64
+	records []lake.Record
+	_       [32]byte // reduce false sharing between adjacent nodes
+}
+
+func (e *executor) fail(err error) {
+	if err == nil {
+		return
+	}
+	e.errOnce.Do(func() {
+		e.errMu.Lock()
+		e.err = err
+		e.errMu.Unlock()
+		e.cancel()
+		e.doneOnce.Do(func() { close(e.done) })
+	})
+}
+
+func (e *executor) firstErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// enqueuePointer implements Algorithm 1's enqueue and broadcast rules
+// (lines 28–33, 47–51). fromNode is the node whose queue routed pointers
+// land on; seeds instead land on the owner of their target partition.
+func (e *executor) enqueuePointer(fromNode, stage int, ptr lake.Pointer, isSeed bool) {
+	if ptr.NoPart {
+		// BROADCAST: enqueue to every node's queue; each node will
+		// treat it as addressing its local partitions.
+		for node := range e.queues {
+			e.inflight.Add(1)
+			e.queues[node].push(task{stage: stage, ptr: ptr})
+			e.pools[node].maybeSpawn()
+		}
+		return
+	}
+	node := fromNode
+	if isSeed {
+		if f, err := e.catalog.File(ptr.File); err == nil {
+			part, _ := lake.ResolvePartition(f, ptr)
+			node = e.topo.OwnerNode(part)
+		}
+	}
+	e.inflight.Add(1)
+	e.queues[node].push(task{stage: stage, ptr: ptr})
+	e.pools[node].maybeSpawn()
+}
+
+func (e *executor) enqueueRecord(node, stage int, rec lake.Record) {
+	e.inflight.Add(1)
+	e.queues[node].push(task{stage: stage, isRec: true, rec: rec})
+	e.pools[node].maybeSpawn()
+}
+
+// finish decrements the in-flight counter after a task (and everything it
+// enqueued) is accounted for; global completion is the counter reaching
+// zero ("until all tasks are finished").
+func (e *executor) finish() {
+	if e.inflight.Add(-1) == 0 {
+		e.doneOnce.Do(func() { close(e.done) })
+	}
+}
+
+// process executes one task: a Dereferencer invocation on a pointer, or a
+// Referencer invocation on a record. Referencer work is inlined after the
+// producing dereference when Options.InlineReferencers is set.
+func (e *executor) process(tc *TaskCtx, t task) {
+	if tc.Ctx.Err() != nil {
+		return // job already failed or cancelled; drain cheaply
+	}
+	e.stageTasks[t.stage].Add(1)
+	stage := e.job.Stages[t.stage]
+	if t.isRec {
+		ptrs, err := stage.Ref.Ref(tc, t.rec)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		e.stageEmits[t.stage].Add(int64(len(ptrs)))
+		for _, p := range ptrs {
+			e.enqueuePointer(tc.Node, t.stage+1, p, false)
+		}
+		return
+	}
+
+	recs, err := e.derefWithRetry(tc, stage.Deref, t.ptr)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	e.stageEmits[t.stage].Add(int64(len(recs)))
+	last := t.stage == len(e.job.Stages)-1
+	if last {
+		e.collect(tc.Node, recs)
+		return
+	}
+	next := t.stage + 1
+	if !e.opts.InlineReferencers {
+		for _, r := range recs {
+			e.enqueueRecord(tc.Node, next, r)
+		}
+		return
+	}
+	// Inline the next Referencer on this worker (the paper avoids thread
+	// switches for CPU-light referencers).
+	ref := e.job.Stages[next].Ref
+	for _, r := range recs {
+		ptrs, err := ref.Ref(tc, r)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		e.stageEmits[next].Add(int64(len(ptrs)))
+		for _, p := range ptrs {
+			e.enqueuePointer(tc.Node, next+1, p, false)
+		}
+	}
+}
+
+// derefWithRetry runs a Dereferencer, retrying per Options.MaxRetries.
+// Context cancellation is never retried: a dying job must die promptly.
+func (e *executor) derefWithRetry(tc *TaskCtx, d Dereferencer, ptr lake.Pointer) ([]lake.Record, error) {
+	recs, err := d.Deref(tc, ptr)
+	for attempt := 0; err != nil && attempt < e.opts.MaxRetries; attempt++ {
+		if tc.Ctx.Err() != nil {
+			return nil, err
+		}
+		if e.opts.RetryBackoff > 0 {
+			t := time.NewTimer(e.opts.RetryBackoff)
+			select {
+			case <-t.C:
+			case <-tc.Ctx.Done():
+				t.Stop()
+				return nil, err
+			}
+		}
+		recs, err = d.Deref(tc, ptr)
+	}
+	return recs, err
+}
+
+func (e *executor) collect(node int, recs []lake.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	if e.opts.Each != nil {
+		for _, r := range recs {
+			if err := e.opts.Each(node, r); err != nil {
+				e.fail(err)
+				return
+			}
+		}
+	}
+	nr := &e.results[node]
+	nr.mu.Lock()
+	nr.count += int64(len(recs))
+	if e.opts.KeepRecords {
+		nr.records = append(nr.records, recs...)
+	}
+	nr.mu.Unlock()
+}
+
+// ExecuteSMPE runs the job with the paper's default massive parallelism.
+func ExecuteSMPE(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology, opts Options) (*Result, error) {
+	if opts.Threads == 0 {
+		opts.Threads = DefaultThreads
+	}
+	opts.InlineReferencers = true
+	return Execute(ctx, job, catalog, topo, opts)
+}
+
+// ExecutePlain runs the job with SMPE disabled: structures are still used,
+// but each node processes its queue with a single worker, so the only
+// parallelism left is the partitioned parallelism of the cluster. This is
+// the paper's "ReDe (w/o SMPE)" configuration.
+func ExecutePlain(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology, opts Options) (*Result, error) {
+	opts.Threads = 1
+	opts.InlineReferencers = true
+	return Execute(ctx, job, catalog, topo, opts)
+}
+
+// SeedRange builds the seed pointers for an initial key-range dereference
+// against an index file. If the index is range-partitioned by its key, one
+// routed seed per overlapping partition is produced; otherwise (hash or
+// unknown partitioning, e.g. a local secondary index) a single broadcast
+// seed lets every node search its local partitions.
+func SeedRange(catalog lake.Catalog, file string, lo, hi lake.Key) ([]lake.Pointer, error) {
+	f, err := catalog.File(file)
+	if err != nil {
+		return nil, err
+	}
+	if rp, ok := f.Partitioner().(lake.RangePartitioner); ok {
+		parts := rp.PartitionsOverlapping(lo, hi, f.NumPartitions())
+		seeds := make([]lake.Pointer, 0, len(parts))
+		for i, p := range parts {
+			// Synthesize a partition key that routes to partition p:
+			// lo itself lands on the first overlapping partition, and
+			// each later partition is addressed by its lower bound.
+			pk := lo
+			if i > 0 {
+				pk = rp.Bounds[p-1]
+			}
+			seeds = append(seeds, lake.Pointer{File: file, PartKey: pk, Key: lo, EndKey: hi})
+		}
+		return seeds, nil
+	}
+	return []lake.Pointer{{File: file, NoPart: true, Key: lo, EndKey: hi}}, nil
+}

@@ -1,0 +1,487 @@
+// Package dfs is the "simple distributed file system" the paper's authors
+// built for ReDe in place of HDFS (§III-E: "HDFS is not well-optimized for
+// non-scan accesses such as lookups").
+//
+// It simulates a shared-nothing cluster inside one process: a Cluster owns N
+// nodes, every file is split into partitions, and partition i lives on node
+// i mod N. Each node has a sim.Gate that bounds concurrent I/Os and charges
+// modeled latencies, plus metrics.Counters that record every access. Files
+// implement the lake.File / lake.BtreeFile interfaces, so the ReDe engine,
+// the baseline engine, and the structure builder all run against the same
+// storage.
+//
+// Records returned by lookups and scans are shared, not copied; callers must
+// treat Record.Data as read-only.
+package dfs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lakeharbor/internal/btree"
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/metrics"
+	"lakeharbor/internal/sim"
+)
+
+// Kind selects the access paths a file supports.
+type Kind int
+
+const (
+	// Heap files support point lookups and scans (the paper's File).
+	Heap Kind = iota
+	// Btree files additionally support range lookups (the paper's
+	// BtreeFile).
+	Btree
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Btree {
+		return "btree"
+	}
+	return "heap"
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of shared-nothing nodes; at least 1.
+	Nodes int
+	// Cost models I/O and network costs. The zero model is free/instant.
+	Cost sim.CostModel
+}
+
+// Cluster is a simulated shared-nothing storage cluster and file catalog.
+type Cluster struct {
+	nodes []*node
+	cost  sim.CostModel
+
+	mu    sync.RWMutex
+	files map[string]*file
+
+	listenerMu sync.RWMutex
+	listeners  []AppendListener
+}
+
+// AppendListener observes every record appended to any file; the structure
+// maintainer uses it to keep built indexes in sync with new data. Listeners
+// run synchronously on the appending goroutine and must not block for long.
+type AppendListener func(file string, rec lake.Record)
+
+// AddAppendListener registers a listener for all future appends.
+func (c *Cluster) AddAppendListener(fn AppendListener) {
+	c.listenerMu.Lock()
+	defer c.listenerMu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+// notifyAppend fans an append out to the listeners.
+func (c *Cluster) notifyAppend(file string, recs []lake.Record) {
+	c.listenerMu.RLock()
+	listeners := c.listeners
+	c.listenerMu.RUnlock()
+	for _, fn := range listeners {
+		for _, r := range recs {
+			fn(file, r)
+		}
+	}
+}
+
+type node struct {
+	id       int
+	gate     *sim.Gate
+	counters metrics.Counters
+}
+
+// NewCluster creates a cluster with cfg.Nodes nodes (minimum 1).
+func NewCluster(cfg Config) *Cluster {
+	n := cfg.Nodes
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{cost: cfg.Cost, files: make(map[string]*file)}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &node{id: i, gate: sim.NewGate(cfg.Cost)})
+	}
+	return c
+}
+
+// NumNodes returns the cluster size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Cost returns the cluster's cost model.
+func (c *Cluster) Cost() sim.CostModel { return c.cost }
+
+// NodeCounters returns node i's counters for inspection.
+func (c *Cluster) NodeCounters(i int) *metrics.Counters { return &c.nodes[i].counters }
+
+// TotalMetrics aggregates a snapshot across all nodes.
+func (c *Cluster) TotalMetrics() metrics.Snapshot {
+	var s metrics.Snapshot
+	for _, n := range c.nodes {
+		s = s.Add(n.counters.Snapshot())
+	}
+	return s
+}
+
+// CreateFile registers a new empty file. Partition i is placed on node
+// i mod NumNodes, matching the paper's round-robin distribution.
+func (c *Cluster) CreateFile(name string, kind Kind, partitions int, p lake.Partitioner) (lake.File, error) {
+	if partitions < 1 {
+		return nil, fmt.Errorf("dfs: file %q: partitions must be >= 1, got %d", name, partitions)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("dfs: file %q: nil partitioner", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	f := &file{cluster: c, name: name, kind: kind, partitioner: p}
+	for i := 0; i < partitions; i++ {
+		f.parts = append(f.parts, &partition{tree: btree.New()})
+	}
+	c.files[name] = f
+	return f, nil
+}
+
+// DropFile removes a file from the catalog (used by tests and by the
+// structure builder when replacing an index).
+func (c *Cluster) DropFile(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.files, name)
+}
+
+// File implements lake.Catalog.
+func (c *Cluster) File(name string) (lake.File, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", lake.ErrNoSuchFile, name)
+	}
+	return f, nil
+}
+
+// BtreeFile returns the named file if it supports range lookups.
+func (c *Cluster) BtreeFile(name string) (lake.BtreeFile, error) {
+	f, err := c.File(name)
+	if err != nil {
+		return nil, err
+	}
+	bf, ok := f.(lake.BtreeFile)
+	if !ok || f.(*file).kind != Btree {
+		return nil, fmt.Errorf("dfs: file %q is not a btree file", name)
+	}
+	return bf, nil
+}
+
+// FileNames returns the catalog contents (for tools and tests).
+func (c *Cluster) FileNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.files))
+	for n := range c.files {
+		out = append(out, n)
+	}
+	return out
+}
+
+// OwnerNode returns the node hosting the given partition.
+func (c *Cluster) OwnerNode(partition int) int { return partition % len(c.nodes) }
+
+// SetFault injects err into every access to the named file's partition
+// (err == nil clears it). It exists for failure-injection tests.
+func (c *Cluster) SetFault(name string, partition int, err error) error {
+	c.mu.RLock()
+	f, ok := c.files[name]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", lake.ErrNoSuchFile, name)
+	}
+	if partition < 0 || partition >= len(f.parts) {
+		return fmt.Errorf("%w: %q/%d", lake.ErrNoSuchPartition, name, partition)
+	}
+	p := f.parts[partition]
+	p.faultMu.Lock()
+	p.fault = err
+	p.faultBudget = 0 // permanent until cleared
+	p.faultMu.Unlock()
+	return nil
+}
+
+// SetTransientFault injects err into the next `times` accesses to the
+// partition, after which it heals itself — the shape of a flaky disk or a
+// brief network partition, used by retry tests.
+func (c *Cluster) SetTransientFault(name string, partition int, err error, times int) error {
+	c.mu.RLock()
+	f, ok := c.files[name]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", lake.ErrNoSuchFile, name)
+	}
+	if partition < 0 || partition >= len(f.parts) {
+		return fmt.Errorf("%w: %q/%d", lake.ErrNoSuchPartition, name, partition)
+	}
+	if times <= 0 {
+		return fmt.Errorf("dfs: transient fault needs times > 0, got %d", times)
+	}
+	p := f.parts[partition]
+	p.faultMu.Lock()
+	p.fault = err
+	p.faultBudget = times
+	p.faultMu.Unlock()
+	return nil
+}
+
+// callerKey carries the identity of the node issuing an access, so dfs can
+// tell local from remote (cross-partition) accesses.
+type callerKey struct{}
+
+// WithCaller marks ctx as originating from the given compute node.
+func WithCaller(ctx context.Context, nodeID int) context.Context {
+	return context.WithValue(ctx, callerKey{}, nodeID)
+}
+
+// CallerNode returns the node that issued ctx, or -1 for external callers
+// (loaders, tools), which are charged as local.
+func CallerNode(ctx context.Context) int {
+	if v, ok := ctx.Value(callerKey{}).(int); ok {
+		return v
+	}
+	return -1
+}
+
+// file implements lake.BtreeFile on simulated partitions.
+type file struct {
+	cluster     *Cluster
+	name        string
+	kind        Kind
+	partitioner lake.Partitioner
+	parts       []*partition
+}
+
+type partition struct {
+	mu   sync.RWMutex
+	tree *btree.Tree
+
+	// Fault-injection state, guarded by its own mutex so read paths do
+	// not need the tree's write lock to consume a transient fault.
+	faultMu sync.Mutex
+	fault   error
+	// faultBudget limits how many accesses the fault affects: a positive
+	// budget decrements per faulted access and the fault clears at zero
+	// (a transient fault); zero or negative means the fault is permanent
+	// until cleared.
+	faultBudget int
+}
+
+// takeFault reports the partition's current fault (if any) and consumes one
+// unit of a transient fault's budget.
+func (p *partition) takeFault() error {
+	p.faultMu.Lock()
+	defer p.faultMu.Unlock()
+	if p.fault == nil {
+		return nil
+	}
+	err := p.fault
+	if p.faultBudget > 0 {
+		p.faultBudget--
+		if p.faultBudget == 0 {
+			p.fault = nil
+		}
+	}
+	return err
+}
+
+// Name implements lake.File.
+func (f *file) Name() string { return f.name }
+
+// NumPartitions implements lake.File.
+func (f *file) NumPartitions() int { return len(f.parts) }
+
+// Partitioner implements lake.File.
+func (f *file) Partitioner() lake.Partitioner { return f.partitioner }
+
+// Kind returns whether the file is a heap or btree file.
+func (f *file) Kind() Kind { return f.kind }
+
+func (f *file) part(i int) (*partition, *node, error) {
+	if i < 0 || i >= len(f.parts) {
+		return nil, nil, fmt.Errorf("%w: %q/%d", lake.ErrNoSuchPartition, f.name, i)
+	}
+	return f.parts[i], f.cluster.nodes[f.cluster.OwnerNode(i)], nil
+}
+
+// admit charges the owner node for one access and updates remote-fetch
+// accounting. kindScan selects scan vs lookup pricing; n is the record count
+// for scans.
+func (f *file) admit(ctx context.Context, owner *node, scan bool, n int) error {
+	remote := false
+	if caller := CallerNode(ctx); caller >= 0 && caller != owner.id {
+		remote = true
+		owner.counters.AddRemoteFetch()
+	}
+	if scan {
+		return owner.gate.Scan(ctx, n, remote)
+	}
+	owner.counters.AddLookup()
+	return owner.gate.Lookup(ctx, remote)
+}
+
+// Lookup implements lake.File.
+func (f *file) Lookup(ctx context.Context, partitionIdx int, key lake.Key) ([]lake.Record, error) {
+	p, owner, err := f.part(partitionIdx)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.admit(ctx, owner, false, 1); err != nil {
+		return nil, err
+	}
+	if err := p.takeFault(); err != nil {
+		return nil, fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	vals := p.tree.Get(key)
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	recs := make([]lake.Record, len(vals))
+	bytes := 0
+	for i, v := range vals {
+		recs[i] = lake.Record{Key: key, Data: v}
+		bytes += len(v)
+	}
+	owner.counters.AddRecordsRead(len(recs))
+	owner.counters.AddBytesRead(bytes)
+	return recs, nil
+}
+
+// LookupRange implements lake.BtreeFile. It returns every record with
+// lo <= key <= hi in the partition, in key order.
+func (f *file) LookupRange(ctx context.Context, partitionIdx int, lo, hi lake.Key) ([]lake.Record, error) {
+	if f.kind != Btree {
+		return nil, fmt.Errorf("dfs: file %q is not a btree file", f.name)
+	}
+	p, owner, err := f.part(partitionIdx)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.admit(ctx, owner, false, 1); err != nil {
+		return nil, err
+	}
+	if err := p.takeFault(); err != nil {
+		return nil, fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var recs []lake.Record
+	bytes := 0
+	p.tree.Ascend(lo, hi, func(k string, v []byte) bool {
+		recs = append(recs, lake.Record{Key: k, Data: v})
+		bytes += len(v)
+		return true
+	})
+	owner.counters.AddRecordsRead(len(recs))
+	owner.counters.AddBytesRead(bytes)
+	return recs, nil
+}
+
+// Scan implements lake.File. The whole partition's scan cost is charged
+// up front as one streaming I/O, then records are delivered in key order.
+func (f *file) Scan(ctx context.Context, partitionIdx int, fn func(lake.Record) error) error {
+	p, owner, err := f.part(partitionIdx)
+	if err != nil {
+		return err
+	}
+	if err := p.takeFault(); err != nil {
+		return fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
+	}
+	p.mu.RLock()
+	n := p.tree.Len()
+	p.mu.RUnlock()
+	if err := f.admit(ctx, owner, true, n); err != nil {
+		return err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var scanErr error
+	scanned := 0
+	bytes := 0
+	p.tree.AscendAll(func(k string, v []byte) bool {
+		if err := ctx.Err(); err != nil {
+			scanErr = err
+			return false
+		}
+		scanned++
+		bytes += len(v)
+		if err := fn(lake.Record{Key: k, Data: v}); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	owner.counters.AddRecordsScanned(scanned)
+	owner.counters.AddBytesRead(bytes)
+	return scanErr
+}
+
+// Append implements lake.File. Loading is not part of the measured
+// experiments, so it is charged no simulated I/O cost.
+func (f *file) Append(ctx context.Context, partitionIdx int, recs ...lake.Record) error {
+	p, owner, err := f.part(partitionIdx)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := p.takeFault(); err != nil {
+		return fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
+	}
+	p.mu.Lock()
+	for _, r := range recs {
+		p.tree.Insert(r.Key, r.Data)
+	}
+	p.mu.Unlock()
+	owner.counters.AddAppend(len(recs))
+	f.cluster.notifyAppend(f.name, recs)
+	return nil
+}
+
+// AppendRouted routes each record through the file's partitioner using the
+// given partition key and appends it. It is the loader-side convenience for
+// files whose partition key differs from the record key.
+func AppendRouted(ctx context.Context, f lake.File, partKey lake.Key, rec lake.Record) error {
+	p := f.Partitioner().Partition(partKey, f.NumPartitions())
+	return f.Append(ctx, p, rec)
+}
+
+// Len returns the total number of records across all partitions of the
+// named file (tooling/tests helper).
+func (c *Cluster) Len(name string) (int, error) {
+	c.mu.RLock()
+	f, ok := c.files[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", lake.ErrNoSuchFile, name)
+	}
+	total := 0
+	for _, p := range f.parts {
+		p.mu.RLock()
+		total += p.tree.Len()
+		p.mu.RUnlock()
+	}
+	return total, nil
+}
+
+// Bind marks ctx as executing on the given node, so subsequent accesses are
+// charged local or remote accordingly. It satisfies the query engines'
+// Topology interface.
+func (c *Cluster) Bind(ctx context.Context, nodeID int) context.Context {
+	return WithCaller(ctx, nodeID)
+}

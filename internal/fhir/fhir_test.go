@@ -1,0 +1,174 @@
+package fhir
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := &Bundle{
+		Patient:    Patient{ID: 7, BirthYear: 1950, Gender: "female"},
+		Conditions: []Condition{{Code: CondHypertension, System: "http://snomed.info/sct", Onset: "2015-03-01"}},
+		Medications: []MedicationRequest{
+			{Code: "rx-C02-01", Class: ClassAntihyper, Dose: 2},
+		},
+		Observations: []Observation{{Code: "obs-01", Value: 130.5, Unit: "mmHg"}},
+	}
+	raw, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("Marshal produced invalid JSON")
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Patient != b.Patient {
+		t.Errorf("patient round trip: %+v", got.Patient)
+	}
+	if len(got.Conditions) != 1 || got.Conditions[0] != b.Conditions[0] {
+		t.Errorf("conditions round trip: %+v", got.Conditions)
+	}
+	if len(got.Medications) != 1 || got.Medications[0] != b.Medications[0] {
+		t.Errorf("medications round trip: %+v", got.Medications)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"conditions":[]}`)); err == nil {
+		t.Error("bundle without patient id accepted")
+	}
+}
+
+func TestHasHelpers(t *testing.T) {
+	b := &Bundle{
+		Conditions:  []Condition{{Code: "A"}},
+		Medications: []MedicationRequest{{Class: "X"}},
+	}
+	if !b.HasCondition("A") || b.HasCondition("B") {
+		t.Error("HasCondition wrong")
+	}
+	if !b.HasMedicationClass("X") || b.HasMedicationClass("Y") {
+		t.Error("HasMedicationClass wrong")
+	}
+}
+
+func TestGenerateDeterministicAndParseable(t *testing.T) {
+	a := Generate(Config{Patients: 400, Seed: 5})
+	b := Generate(Config{Patients: 400, Seed: 5})
+	if len(a.Bundles) != 400 {
+		t.Fatalf("generated %d bundles", len(a.Bundles))
+	}
+	htn := 0
+	for i := range a.Bundles {
+		ra, _ := a.Bundles[i].Marshal()
+		rb, _ := b.Bundles[i].Marshal()
+		if string(ra) != string(rb) {
+			t.Fatalf("bundle %d not deterministic", i)
+		}
+		if _, err := Parse(ra); err != nil {
+			t.Fatalf("generated bundle does not parse: %v", err)
+		}
+		if a.Bundles[i].HasCondition(CondHypertension) {
+			htn++
+		}
+	}
+	if htn < 50 || htn > 130 {
+		t.Errorf("hypertension prevalence %d/400, want ~88", htn)
+	}
+	if got := Generate(Config{Seed: 1}); len(got.Bundles) != 1000 {
+		t.Errorf("default corpus size = %d", len(got.Bundles))
+	}
+}
+
+func TestLoadAndIndex(t *testing.T) {
+	ctx := context.Background()
+	corpus := Generate(Config{Patients: 300, Seed: 9})
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	if err := Load(ctx, c, corpus, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Len(FileBundles); n != 300 {
+		t.Errorf("bundles file has %d records", n)
+	}
+	wantIdx := 0
+	for _, b := range corpus.Bundles {
+		seen := map[string]bool{}
+		for _, cond := range b.Conditions {
+			if !seen[cond.Code] {
+				seen[cond.Code] = true
+				wantIdx++
+			}
+		}
+	}
+	if n, _ := c.Len(IdxCondition); n != wantIdx {
+		t.Errorf("condition index has %d entries, want %d", n, wantIdx)
+	}
+}
+
+func TestCohortQueriesMatchOracle(t *testing.T) {
+	ctx := context.Background()
+	corpus := Generate(Config{Patients: 900, Seed: 13})
+	c := dfs.NewCluster(dfs.Config{Nodes: 3})
+	if err := Load(ctx, c, corpus, 0); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ cond, class string }{
+		{CondHypertension, ClassAntihyper},
+		{CondDiabetes, ClassGLP1},
+		{CondAsthma, ClassInhalant},
+		{CondHypertension, ClassGLP1}, // cross pair: mostly background noise
+	}
+	for _, tc := range cases {
+		res, err := RunCohortQuery(ctx, c, tc.cond, tc.class, core.Options{Threads: 32})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.cond, tc.class, err)
+		}
+		if want := corpus.Oracle(tc.cond, tc.class); res.Patients != want {
+			t.Errorf("%s/%s: got %d patients, oracle %d", tc.cond, tc.class, res.Patients, want)
+		}
+		if res.RecordAccesses == 0 && res.Patients > 0 {
+			t.Errorf("%s/%s: accesses not counted", tc.cond, tc.class)
+		}
+	}
+}
+
+func TestQueryUnknownConditionIsEmpty(t *testing.T) {
+	ctx := context.Background()
+	corpus := Generate(Config{Patients: 50, Seed: 1})
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	if err := Load(ctx, c, corpus, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCohortQuery(ctx, c, "00000000", ClassOther, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patients != 0 {
+		t.Errorf("unknown condition matched %d patients", res.Patients)
+	}
+}
+
+func TestStoredBundlesAreNestedJSON(t *testing.T) {
+	// The stored payload really is the nested-document format the paper
+	// points at — one record holding all resources of the patient.
+	corpus := Generate(Config{Patients: 10, Seed: 2})
+	raw, err := corpus.Bundles[0].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"patient"`) || !strings.Contains(s, `"conditions"`) {
+		t.Errorf("stored bundle lacks nested resources: %s", s)
+	}
+}

@@ -1,0 +1,65 @@
+package fhir
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// Result reports one cohort query.
+type Result struct {
+	// Patients is the number of qualifying patients.
+	Patients int64
+	// RecordAccesses counts records touched during execution.
+	RecordAccesses int64
+	// Elapsed is wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// RunCohortQuery answers "how many patients have condition condCode and a
+// prescription of class medClass" the LakeHarbor way: probe the post hoc
+// condition index, dereference each whole bundle once, and evaluate the
+// medication predicate with schema-on-read inside the JSON — structurally
+// identical to the claims queries, over a different nested format.
+func RunCohortQuery(ctx context.Context, cluster *dfs.Cluster, condCode, medClass string, opts core.Options) (*Result, error) {
+	medFilter := func(rec lake.Record) (bool, error) {
+		b, err := Parse(rec.Data)
+		if err != nil {
+			return false, err
+		}
+		return b.HasMedicationClass(medClass), nil
+	}
+	k := ConditionKey(condCode)
+	job, err := core.NewJob("fhir-cohort",
+		[]lake.Pointer{{File: IdxCondition, PartKey: k, Key: k}},
+		core.LookupDeref{File: IdxCondition},
+		core.EntryRef{Target: FileBundles},
+		core.LookupDeref{File: FileBundles, Filter: medFilter},
+	)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	count := int64(0)
+	opts.Each = func(_ int, rec lake.Record) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	}
+	before := cluster.TotalMetrics()
+	res, err := core.Execute(ctx, job, cluster, cluster, opts)
+	if err != nil {
+		return nil, err
+	}
+	diff := cluster.TotalMetrics().Sub(before)
+	return &Result{
+		Patients:       count,
+		RecordAccesses: diff.RecordAccesses(),
+		Elapsed:        res.Elapsed,
+	}, nil
+}

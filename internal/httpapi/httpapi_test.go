@@ -1,0 +1,261 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *dfs.Cluster) {
+	t.Helper()
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	f, err := c.CreateFile("events", dfs.Btree, 4, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		k := keycodec.Int64(i)
+		rec := lake.Record{Key: k, Data: []byte(fmt.Sprintf("event-%d", i))}
+		if err := dfs.AppendRouted(ctx, f, k, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A record with non-UTF-8 payload to exercise base64.
+	bk := keycodec.Int64(999)
+	f.Append(ctx, 0, lake.Record{Key: bk, Data: []byte{0xff, 0xfe, 0x00}})
+	srv := httptest.NewServer(New(c))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestCatalog(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var files []FileInfo
+	if code := getJSON(t, srv.URL+"/v1/catalog", &files); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(files) != 1 || files[0].Name != "events" || files[0].Records != 51 {
+		t.Fatalf("catalog = %+v", files)
+	}
+	if files[0].Partitions != 4 || files[0].Partitioner != "hash" {
+		t.Errorf("catalog meta wrong: %+v", files[0])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, c := newTestServer(t)
+	var m map[string]any
+	if code := getJSON(t, srv.URL+"/v1/metrics", &m); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if int64(m["Appends"].(float64)) != c.TotalMetrics().Appends {
+		t.Errorf("metrics mismatch: %+v", m)
+	}
+}
+
+func TestFileDetail(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var detail struct {
+		Name       string `json:"name"`
+		Partitions []struct {
+			Partition int `json:"partition"`
+			Node      int `json:"node"`
+			Records   int `json:"records"`
+		} `json:"partitions"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/files/events", &detail); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if detail.Name != "events" || len(detail.Partitions) != 4 {
+		t.Fatalf("detail = %+v", detail)
+	}
+	total := 0
+	for _, p := range detail.Partitions {
+		total += p.Records
+	}
+	if total != 51 {
+		t.Errorf("partition records sum to %d", total)
+	}
+	if code := getJSON(t, srv.URL+"/v1/files/ghost", nil); code != 404 {
+		t.Errorf("missing file status = %d", code)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var recs []RecordJSON
+	if code := getJSON(t, srv.URL+"/v1/lookup?file=events&key=int:7", &recs); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(recs) != 1 || recs[0].Text != "event-7" {
+		t.Fatalf("lookup = %+v", recs)
+	}
+	// Miss is an empty list, not an error.
+	if code := getJSON(t, srv.URL+"/v1/lookup?file=events&key=int:12345", &recs); code != 200 {
+		t.Fatalf("miss status %d", code)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("miss = %+v", recs)
+	}
+	// Errors.
+	if code := getJSON(t, srv.URL+"/v1/lookup?file=events", nil); code != 400 {
+		t.Errorf("missing key status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/lookup?key=int:1", nil); code != 400 {
+		t.Errorf("missing file status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/lookup?file=ghost&key=int:1", nil); code != 404 {
+		t.Errorf("ghost file status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/lookup?file=events&key=bogus", nil); code != 400 {
+		t.Errorf("bad key status = %d", code)
+	}
+}
+
+func TestLookupBinaryPayload(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// The binary record was appended to partition 0 directly with an
+	// explicit partition key matching nothing; find it via partKey
+	// override pointing at partition 0's route.
+	var recs []RecordJSON
+	url := srv.URL + "/v1/lookup?file=events&key=int:999"
+	if code := getJSON(t, url, &recs); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	// It may or may not route to partition 0 by hash; accept either a
+	// base64 hit or a miss, but never a mangled Text hit.
+	for _, r := range recs {
+		if r.Text != "" {
+			t.Errorf("binary payload served as text: %+v", r)
+		}
+		if r.Base64 == "" {
+			t.Errorf("binary payload missing base64: %+v", r)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var recs []RecordJSON
+	if code := getJSON(t, srv.URL+"/v1/range?file=events&lo=int:10&hi=int:19", &recs); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("range returned %d records, want 10", len(recs))
+	}
+	// Limit applies.
+	if code := getJSON(t, srv.URL+"/v1/range?file=events&lo=int:0&hi=int:100&limit=5", &recs); code != 200 {
+		t.Fatal("limited range failed")
+	}
+	if len(recs) != 5 {
+		t.Fatalf("limited range returned %d", len(recs))
+	}
+	if code := getJSON(t, srv.URL+"/v1/range?file=events&lo=int:0&hi=int:1&limit=-3", nil); code != 400 {
+		t.Errorf("bad limit status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/range?file=events&lo=bogus&hi=int:1", nil); code != 400 {
+		t.Errorf("bad lo status = %d", code)
+	}
+}
+
+func TestIngest(t *testing.T) {
+	srv, c := newTestServer(t)
+	body, _ := json.Marshal(IngestRequest{
+		File: "events",
+		Key:  []string{"int:1000"},
+		Text: "posted-event",
+	})
+	resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	// The record is immediately findable through the normal path.
+	ctx := context.Background()
+	f, _ := c.File("events")
+	k := keycodec.Int64(1000)
+	p := f.Partitioner().Partition(k, f.NumPartitions())
+	recs, err := f.Lookup(ctx, p, k)
+	if err != nil || len(recs) != 1 || string(recs[0].Data) != "posted-event" {
+		t.Fatalf("ingested record not found: %v %v", recs, err)
+	}
+	// And over the API too.
+	var got []RecordJSON
+	if code := getJSON(t, srv.URL+"/v1/lookup?file=events&key=int:1000", &got); code != 200 || len(got) != 1 {
+		t.Fatalf("API lookup of ingested record: %d %+v", code, got)
+	}
+
+	// Error paths.
+	for name, bad := range map[string]string{
+		"bad json":   "{not json",
+		"no key":     `{"file":"events","text":"x"}`,
+		"bad key":    `{"file":"events","key":["nope"],"text":"x"}`,
+		"bad base64": `{"file":"events","key":["int:1"],"base64":"!!!"}`,
+		"ghost file": `{"file":"ghost","key":["int:1"],"text":"x"}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 {
+			t.Errorf("%s: status %d, want an error", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestParseKeyTuple(t *testing.T) {
+	k, err := ParseKeys([]string{"str:orders", "int:42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := keycodec.Tuple(keycodec.String("orders"), keycodec.Int64(42)); k != want {
+		t.Error("tuple key spec does not match keycodec encoding")
+	}
+	if _, err := ParseKeys(nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	if _, err := ParseKey("int:notanumber"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if _, err := ParseKey("float:xyz"); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := ParseKey("uuid:123"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := ParseKey("noprefix"); err == nil {
+		t.Error("missing prefix accepted")
+	}
+	if k, err := ParseKey("float:2.5"); err != nil || k != keycodec.Float64(2.5) {
+		t.Error("float key wrong")
+	}
+}

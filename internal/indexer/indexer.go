@@ -1,0 +1,345 @@
+// Package indexer implements the paper's structure maintenance (§III-D):
+// ReDe builds indexes flexibly in the background from registered access
+// method functions. Users register, per base file, functions that extract
+// the base record's partition key and its index key(s) with schema-on-read;
+// the builder scans the base file, emits (partition key, index key) pairs,
+// and materializes B-tree index files — local (co-partitioned with the
+// base) or global (partitioned by the index key).
+//
+// Structures are lazy: a Registry holds Specs, and an index is built the
+// first time a job asks for it (Ensure) or when the registry is told to
+// build everything in the background (StartAll).
+package indexer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// Kind distinguishes the two indexing schemes of the Taniar–Rahayu taxonomy
+// the paper builds on: local indexes co-partitioned with their base file,
+// and global indexes partitioned by the indexed key.
+type Kind int
+
+const (
+	// Local indexes live in the same partition as the records they index
+	// (the paper's "local secondary indexes on the date columns").
+	Local Kind = iota
+	// Global indexes are partitioned by the indexed key itself (the
+	// paper's "global indexes for each foreign key").
+	Global
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Global {
+		return "global"
+	}
+	return "local"
+}
+
+// Spec describes one structure to build over a base file.
+type Spec struct {
+	// Name is the catalog name the index file will get.
+	Name string
+	// Base is the catalog name of the file to index.
+	Base string
+	// Kind selects local or global partitioning.
+	Kind Kind
+	// Partitions is the index partition count; 0 copies the base file's.
+	Partitions int
+	// Partitioner routes the index's partition keys. Nil selects the
+	// base file's partitioner for Local indexes and HashPartitioner for
+	// Global ones.
+	Partitioner lake.Partitioner
+	// PartKey extracts the base record's partition key with
+	// schema-on-read; it is stored in every index entry so referencers
+	// can rebuild a pointer to the base record.
+	PartKey func(rec lake.Record) (lake.Key, error)
+	// Keys extracts the index key(s) for the record. A record may emit
+	// zero keys (it is simply not indexed) or several (multi-valued
+	// attributes, e.g. one claim indexed under each diagnosed disease).
+	Keys func(rec lake.Record) ([]lake.Key, error)
+}
+
+func (s Spec) validate() error {
+	if s.Name == "" || s.Base == "" {
+		return fmt.Errorf("indexer: spec needs Name and Base (got %q over %q)", s.Name, s.Base)
+	}
+	if s.PartKey == nil || s.Keys == nil {
+		return fmt.Errorf("indexer: spec %q needs PartKey and Keys functions", s.Name)
+	}
+	return nil
+}
+
+// Build synchronously builds the index described by spec on the cluster and
+// returns it. Partitions of the base file are scanned concurrently.
+func Build(ctx context.Context, cluster *dfs.Cluster, spec Spec) (lake.BtreeFile, error) {
+	b := newBuild(cluster, spec)
+	b.run(ctx)
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return cluster.BtreeFile(spec.Name)
+}
+
+// BuildAsync starts a background build and returns immediately; use Wait to
+// join it.
+func BuildAsync(ctx context.Context, cluster *dfs.Cluster, spec Spec) *BuildStatus {
+	b := newBuild(cluster, spec)
+	go b.run(ctx)
+	return b
+}
+
+// BuildStatus tracks one background build.
+type BuildStatus struct {
+	cluster *dfs.Cluster
+	spec    Spec
+
+	scanned atomic.Int64
+	emitted atomic.Int64
+
+	done chan struct{}
+	mu   sync.Mutex
+	err  error
+}
+
+func newBuild(cluster *dfs.Cluster, spec Spec) *BuildStatus {
+	return &BuildStatus{cluster: cluster, spec: spec, done: make(chan struct{})}
+}
+
+// Scanned returns the number of base records read so far.
+func (b *BuildStatus) Scanned() int64 { return b.scanned.Load() }
+
+// Emitted returns the number of index entries written so far.
+func (b *BuildStatus) Emitted() int64 { return b.emitted.Load() }
+
+// Wait blocks until the build finishes or ctx is done, returning the build
+// error if any.
+func (b *BuildStatus) Wait(ctx context.Context) error {
+	select {
+	case <-b.done:
+		return b.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err returns the terminal error of a finished build (nil while running).
+func (b *BuildStatus) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+func (b *BuildStatus) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *BuildStatus) run(ctx context.Context) {
+	defer close(b.done)
+	spec := b.spec
+	if err := spec.validate(); err != nil {
+		b.fail(err)
+		return
+	}
+	base, err := b.cluster.File(spec.Base)
+	if err != nil {
+		b.fail(fmt.Errorf("indexer: %q: %w", spec.Name, err))
+		return
+	}
+	nParts := spec.Partitions
+	if nParts == 0 {
+		nParts = base.NumPartitions()
+	}
+	part := spec.Partitioner
+	if part == nil {
+		if spec.Kind == Local {
+			part = base.Partitioner()
+		} else {
+			part = lake.HashPartitioner{}
+		}
+	}
+	idx, err := b.cluster.CreateFile(spec.Name, dfs.Btree, nParts, part)
+	if err != nil {
+		b.fail(fmt.Errorf("indexer: %q: %w", spec.Name, err))
+		return
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, base.NumPartitions())
+	for p := 0; p < base.NumPartitions(); p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if err := b.buildPartition(ctx, base, idx, p); err != nil {
+				errCh <- err
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		b.fail(err)
+		// Leave no half-built structure behind.
+		b.cluster.DropFile(spec.Name)
+	}
+}
+
+// buildPartition scans one base partition and appends its index entries in
+// batches.
+func (b *BuildStatus) buildPartition(ctx context.Context, base, idx lake.File, p int) error {
+	spec := b.spec
+	type pending struct {
+		part int
+		rec  lake.Record
+	}
+	const batchSize = 1024
+	batch := make([]pending, 0, batchSize)
+	flush := func() error {
+		for _, pe := range batch {
+			if err := idx.Append(ctx, pe.part, pe.rec); err != nil {
+				return err
+			}
+		}
+		b.emitted.Add(int64(len(batch)))
+		batch = batch[:0]
+		return nil
+	}
+	err := base.Scan(ctx, p, func(rec lake.Record) error {
+		b.scanned.Add(1)
+		basePartKey, err := spec.PartKey(rec)
+		if err != nil {
+			return fmt.Errorf("indexer: %q: part key of %q: %w", spec.Name, rec.Key, err)
+		}
+		keys, err := spec.Keys(rec)
+		if err != nil {
+			return fmt.Errorf("indexer: %q: index keys of %q: %w", spec.Name, rec.Key, err)
+		}
+		entry := lake.EncodeIndexEntry(basePartKey, rec.Key)
+		for _, k := range keys {
+			routeKey := k
+			if spec.Kind == Local {
+				routeKey = basePartKey
+			}
+			target := idx.Partitioner().Partition(routeKey, idx.NumPartitions())
+			batch = append(batch, pending{part: target, rec: lake.Record{Key: k, Data: entry}})
+			if len(batch) >= cap(batch) {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// Registry holds registered Specs and builds each structure at most once,
+// on demand.
+type Registry struct {
+	cluster *dfs.Cluster
+
+	mu     sync.Mutex
+	specs  map[string]Spec
+	builds map[string]*BuildStatus
+}
+
+// NewRegistry returns an empty registry bound to the cluster.
+func NewRegistry(cluster *dfs.Cluster) *Registry {
+	return &Registry{
+		cluster: cluster,
+		specs:   make(map[string]Spec),
+		builds:  make(map[string]*BuildStatus),
+	}
+}
+
+// Register records a spec. Registering does no work: structures are built
+// lazily by Ensure or StartAll. Re-registering a name replaces the spec
+// only if it has not started building.
+func (r *Registry) Register(spec Spec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, building := r.builds[spec.Name]; building {
+		return fmt.Errorf("indexer: %q is already building", spec.Name)
+	}
+	r.specs[spec.Name] = spec
+	return nil
+}
+
+// Names returns the registered structure names.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Ensure builds the named structure if it has not been built yet and waits
+// for it to be ready. Concurrent Ensure calls share one build.
+func (r *Registry) Ensure(ctx context.Context, name string) error {
+	r.mu.Lock()
+	b, ok := r.builds[name]
+	if !ok {
+		spec, known := r.specs[name]
+		if !known {
+			r.mu.Unlock()
+			return fmt.Errorf("indexer: no spec registered for %q", name)
+		}
+		b = BuildAsync(context.WithoutCancel(ctx), r.cluster, spec)
+		r.builds[name] = b
+	}
+	r.mu.Unlock()
+	return b.Wait(ctx)
+}
+
+// StartAll kicks off background builds for every registered structure and
+// returns their statuses keyed by name.
+func (r *Registry) StartAll(ctx context.Context) map[string]*BuildStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*BuildStatus, len(r.specs))
+	for name, spec := range r.specs {
+		b, ok := r.builds[name]
+		if !ok {
+			b = BuildAsync(ctx, r.cluster, spec)
+			r.builds[name] = b
+		}
+		out[name] = b
+	}
+	return out
+}
+
+// WaitAll joins every build started so far.
+func (r *Registry) WaitAll(ctx context.Context) error {
+	r.mu.Lock()
+	builds := make([]*BuildStatus, 0, len(r.builds))
+	for _, b := range r.builds {
+		builds = append(builds, b)
+	}
+	r.mu.Unlock()
+	for _, b := range builds {
+		if err := b.Wait(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package indexer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+)
+
+// The test base file holds records "orderkey|custkey|date" keyed and
+// partitioned by orderkey.
+func loadBase(t testing.TB, c *dfs.Cluster, rows int) lake.File {
+	t.Helper()
+	ctx := context.Background()
+	base, err := c.CreateFile("orders", dfs.Btree, 4, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		key := keycodec.Int64(int64(i))
+		data := fmt.Sprintf("%d|%d|%d", i, i%17, 20230000+i%30)
+		if err := dfs.AppendRouted(ctx, base, key, lake.Record{Key: key, Data: []byte(data)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return base
+}
+
+func field(rec lake.Record, i int) string {
+	return strings.Split(string(rec.Data), "|")[i]
+}
+
+func partKeyFn(rec lake.Record) (lake.Key, error) {
+	n, err := strconv.ParseInt(field(rec, 0), 10, 64)
+	if err != nil {
+		return "", err
+	}
+	return keycodec.Int64(n), nil
+}
+
+func custKeyFn(rec lake.Record) ([]lake.Key, error) {
+	n, err := strconv.ParseInt(field(rec, 1), 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	return []lake.Key{keycodec.Int64(n)}, nil
+}
+
+func dateKeyFn(rec lake.Record) ([]lake.Key, error) {
+	n, err := strconv.ParseInt(field(rec, 2), 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	return []lake.Key{keycodec.Int64(n)}, nil
+}
+
+func TestBuildGlobalIndex(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	loadBase(t, c, 500)
+	idx, err := Build(ctx, c, Spec{
+		Name:    "orders_cust_idx",
+		Base:    "orders",
+		Kind:    Global,
+		PartKey: partKeyFn,
+		Keys:    custKeyFn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Len("orders_cust_idx"); n != 500 {
+		t.Fatalf("index has %d entries, want 500", n)
+	}
+	// Probe custkey 3: all entries must be in the partition that the
+	// index's own partitioner routes custkey 3 to, and decode to base
+	// records with custkey 3.
+	k := keycodec.Int64(3)
+	p := idx.Partitioner().Partition(k, idx.NumPartitions())
+	recs, err := idx.Lookup(ctx, p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 500; i++ {
+		if i%17 == 3 {
+			want++
+		}
+	}
+	if len(recs) != want {
+		t.Fatalf("custkey-3 probe returned %d entries, want %d", len(recs), want)
+	}
+	base, _ := c.File("orders")
+	for _, r := range recs {
+		basePartKey, pk, err := lake.DecodeIndexEntry(r.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp := base.Partitioner().Partition(basePartKey, base.NumPartitions())
+		baseRecs, err := base.Lookup(ctx, bp, pk)
+		if err != nil || len(baseRecs) != 1 {
+			t.Fatalf("index entry does not resolve: %v %v", baseRecs, err)
+		}
+		if field(baseRecs[0], 1) != "3" {
+			t.Fatalf("entry points at custkey %s, want 3", field(baseRecs[0], 1))
+		}
+	}
+}
+
+func TestBuildLocalIndexCoPartitioned(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	base := loadBase(t, c, 300)
+	idx, err := Build(ctx, c, Spec{
+		Name:    "orders_date_idx",
+		Base:    "orders",
+		Kind:    Local,
+		PartKey: partKeyFn,
+		Keys:    dateKeyFn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumPartitions() != base.NumPartitions() {
+		t.Fatalf("local index has %d partitions, base has %d", idx.NumPartitions(), base.NumPartitions())
+	}
+	// Every index entry must live in the same partition as its base record.
+	for p := 0; p < idx.NumPartitions(); p++ {
+		recs, err := idx.LookupRange(ctx, p, keycodec.Int64(0), keycodec.Int64(1<<40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			basePartKey, _, err := lake.DecodeIndexEntry(r.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bp := base.Partitioner().Partition(basePartKey, base.NumPartitions()); bp != p {
+				t.Fatalf("local index entry in partition %d but base record in %d", p, bp)
+			}
+		}
+	}
+	if n, _ := c.Len("orders_date_idx"); n != 300 {
+		t.Fatalf("index has %d entries, want 300", n)
+	}
+}
+
+func TestMultiValuedKeys(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	loadBase(t, c, 50)
+	_, err := Build(ctx, c, Spec{
+		Name:    "multi",
+		Base:    "orders",
+		Kind:    Global,
+		PartKey: partKeyFn,
+		Keys: func(rec lake.Record) ([]lake.Key, error) {
+			// Every record indexed under two keys; every third record
+			// under none.
+			n, _ := strconv.ParseInt(field(rec, 0), 10, 64)
+			if n%3 == 0 {
+				return nil, nil
+			}
+			return []lake.Key{keycodec.Int64(n), keycodec.Int64(n + 1000)}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 50; i++ {
+		if i%3 != 0 {
+			want += 2
+		}
+	}
+	if n, _ := c.Len("multi"); n != want {
+		t.Fatalf("multi-valued index has %d entries, want %d", n, want)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	loadBase(t, c, 10)
+
+	if _, err := Build(ctx, c, Spec{Name: "x", Base: "missing", PartKey: partKeyFn, Keys: custKeyFn}); err == nil {
+		t.Error("build over missing base should fail")
+	}
+	if _, err := Build(ctx, c, Spec{Name: "", Base: "orders", PartKey: partKeyFn, Keys: custKeyFn}); err == nil {
+		t.Error("build without a name should fail")
+	}
+	if _, err := Build(ctx, c, Spec{Name: "y", Base: "orders"}); err == nil {
+		t.Error("build without extractors should fail")
+	}
+	boom := errors.New("cannot interpret")
+	if _, err := Build(ctx, c, Spec{
+		Name: "z", Base: "orders", PartKey: partKeyFn,
+		Keys: func(lake.Record) ([]lake.Key, error) { return nil, boom },
+	}); !errors.Is(err, boom) {
+		t.Errorf("extractor error = %v, want %v", err, boom)
+	}
+	// A failed build must not leave a half-built file in the catalog.
+	if _, err := c.File("z"); err == nil {
+		t.Error("failed build left index file behind")
+	}
+	// Name collision with an existing file.
+	if _, err := Build(ctx, c, Spec{Name: "orders", Base: "orders", PartKey: partKeyFn, Keys: custKeyFn}); err == nil {
+		t.Error("build over existing name should fail")
+	}
+}
+
+func TestBuildAsyncProgress(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	loadBase(t, c, 400)
+	b := BuildAsync(ctx, c, Spec{Name: "idx", Base: "orders", Kind: Global, PartKey: partKeyFn, Keys: custKeyFn})
+	if err := b.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if b.Scanned() != 400 {
+		t.Errorf("Scanned = %d, want 400", b.Scanned())
+	}
+	if b.Emitted() != 400 {
+		t.Errorf("Emitted = %d, want 400", b.Emitted())
+	}
+}
+
+func TestRegistryLazyBuild(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	loadBase(t, c, 100)
+	r := NewRegistry(c)
+	if err := r.Register(Spec{Name: "lazy", Base: "orders", Kind: Global, PartKey: partKeyFn, Keys: custKeyFn}); err != nil {
+		t.Fatal(err)
+	}
+	// Registration alone builds nothing.
+	if _, err := c.File("lazy"); err == nil {
+		t.Fatal("registry built eagerly")
+	}
+	if err := r.Ensure(ctx, "lazy"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Len("lazy"); n != 100 {
+		t.Fatalf("ensured index has %d entries", n)
+	}
+	// Second Ensure is a no-op on an already built index.
+	if err := r.Ensure(ctx, "lazy"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Len("lazy"); n != 100 {
+		t.Fatal("Ensure rebuilt the index")
+	}
+	if err := r.Ensure(ctx, "unknown"); err == nil {
+		t.Error("Ensure of unregistered name should fail")
+	}
+}
+
+func TestRegistryConcurrentEnsureBuildsOnce(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	loadBase(t, c, 200)
+	r := NewRegistry(c)
+	r.Register(Spec{Name: "once", Base: "orders", Kind: Global, PartKey: partKeyFn, Keys: custKeyFn})
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.Ensure(ctx, "once")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Ensure %d: %v", i, err)
+		}
+	}
+	if n, _ := c.Len("once"); n != 200 {
+		t.Fatalf("index has %d entries, want 200 (double build?)", n)
+	}
+}
+
+func TestRegistryStartAllAndWaitAll(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	loadBase(t, c, 100)
+	r := NewRegistry(c)
+	r.Register(Spec{Name: "i1", Base: "orders", Kind: Global, PartKey: partKeyFn, Keys: custKeyFn})
+	r.Register(Spec{Name: "i2", Base: "orders", Kind: Local, PartKey: partKeyFn, Keys: dateKeyFn})
+	builds := r.StartAll(ctx)
+	if len(builds) != 2 {
+		t.Fatalf("StartAll returned %d builds", len(builds))
+	}
+	if err := r.WaitAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"i1", "i2"} {
+		if n, _ := c.Len(name); n != 100 {
+			t.Errorf("%s has %d entries, want 100", name, n)
+		}
+	}
+	names := r.Names()
+	if len(names) != 2 {
+		t.Errorf("Names = %v", names)
+	}
+}

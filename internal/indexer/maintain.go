@@ -1,0 +1,114 @@
+package indexer
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// Maintainer keeps built structures in sync with new base data — the other
+// half of §III-D. The paper's trade-off discussion (§V-B) is precisely that
+// "more structures could cause more performance and capacity overheads for
+// loading new data"; the Maintainer makes that overhead real and
+// measurable: every base append fans out one index append per entry the
+// registered access methods emit.
+//
+// Maintenance is synchronous with the append (writer-pays), which keeps
+// indexes consistent for the read path without a reconciliation step.
+type Maintainer struct {
+	cluster *dfs.Cluster
+	ctx     context.Context
+
+	mu    sync.RWMutex
+	specs map[string][]Spec // base file → specs of built indexes
+
+	maintained atomic.Int64
+	errs       atomic.Int64
+	lastErr    atomic.Value // error
+}
+
+// NewMaintainer attaches a maintainer to the cluster's append stream. Use
+// Watch to start maintaining a built structure.
+func NewMaintainer(ctx context.Context, cluster *dfs.Cluster) *Maintainer {
+	m := &Maintainer{cluster: cluster, ctx: ctx, specs: make(map[string][]Spec)}
+	cluster.AddAppendListener(m.onAppend)
+	return m
+}
+
+// Watch starts maintaining the structure described by spec: every record
+// appended to spec.Base from now on is also indexed. The structure should
+// already be built (Build or Registry.Ensure); Watch does not backfill.
+func (m *Maintainer) Watch(spec Spec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.specs[spec.Base] = append(m.specs[spec.Base], spec)
+	return nil
+}
+
+// Maintained returns how many index entries have been appended by
+// maintenance — the paper's loading overhead, directly.
+func (m *Maintainer) Maintained() int64 { return m.maintained.Load() }
+
+// Errors returns how many maintenance operations failed (e.g. records the
+// access method cannot interpret); the last error is available via LastErr.
+func (m *Maintainer) Errors() int64 { return m.errs.Load() }
+
+// LastErr returns the most recent maintenance error, or nil.
+func (m *Maintainer) LastErr() error {
+	if v := m.lastErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// onAppend indexes one appended base record into every watched structure.
+// Index appends do not re-trigger maintenance because indexes are not
+// registered as bases (indexing an index would need an explicit Watch).
+func (m *Maintainer) onAppend(file string, rec lake.Record) {
+	m.mu.RLock()
+	specs := m.specs[file]
+	m.mu.RUnlock()
+	if len(specs) == 0 {
+		return
+	}
+	for _, spec := range specs {
+		if err := m.apply(spec, rec); err != nil {
+			m.errs.Add(1)
+			m.lastErr.Store(err)
+		}
+	}
+}
+
+func (m *Maintainer) apply(spec Spec, rec lake.Record) error {
+	idx, err := m.cluster.File(spec.Name)
+	if err != nil {
+		return err
+	}
+	basePartKey, err := spec.PartKey(rec)
+	if err != nil {
+		return err
+	}
+	keys, err := spec.Keys(rec)
+	if err != nil {
+		return err
+	}
+	entry := lake.EncodeIndexEntry(basePartKey, rec.Key)
+	for _, k := range keys {
+		routeKey := k
+		if spec.Kind == Local {
+			routeKey = basePartKey
+		}
+		target := idx.Partitioner().Partition(routeKey, idx.NumPartitions())
+		if err := idx.Append(m.ctx, target, lake.Record{Key: k, Data: entry}); err != nil {
+			return err
+		}
+		m.maintained.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package indexer
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+)
+
+func TestMaintainerKeepsIndexFresh(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	loadBase(t, c, 200)
+	spec := Spec{Name: "cust_idx", Base: "orders", Kind: Global,
+		PartKey: partKeyFn, Keys: custKeyFn}
+	idx, err := Build(ctx, c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(ctx, c)
+	if err := m.Watch(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// New data arrives after the build.
+	base, _ := c.File("orders")
+	for i := 200; i < 300; i++ {
+		key := keycodec.Int64(int64(i))
+		data := fmt.Sprintf("%d|%d|%d", i, i%17, 20230000+i%30)
+		if err := dfs.AppendRouted(ctx, base, key, lake.Record{Key: key, Data: []byte(data)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := c.Len("cust_idx"); n != 300 {
+		t.Fatalf("maintained index has %d entries, want 300", n)
+	}
+	if m.Maintained() != 100 {
+		t.Errorf("Maintained = %d, want 100 (the loading overhead)", m.Maintained())
+	}
+	if m.Errors() != 0 || m.LastErr() != nil {
+		t.Errorf("unexpected maintenance errors: %d %v", m.Errors(), m.LastErr())
+	}
+
+	// A freshly appended record is findable through the index.
+	k := keycodec.Int64(3) // custkey 3: rows 3, 20, ..., plus the new ones
+	p := idx.Partitioner().Partition(k, idx.NumPartitions())
+	recs, err := idx.Lookup(ctx, p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 300; i++ {
+		if i%17 == 3 {
+			want++
+		}
+	}
+	if len(recs) != want {
+		t.Fatalf("probe after maintenance = %d entries, want %d", len(recs), want)
+	}
+}
+
+func TestMaintainerIgnoresUnwatchedFiles(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	loadBase(t, c, 50)
+	other, _ := c.CreateFile("other", dfs.Btree, 2, lake.HashPartitioner{})
+	spec := Spec{Name: "idx", Base: "orders", Kind: Global, PartKey: partKeyFn, Keys: custKeyFn}
+	if _, err := Build(ctx, c, spec); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(ctx, c)
+	m.Watch(spec)
+	// Appends to an unrelated file do nothing.
+	dfs.AppendRouted(ctx, other, "k", lake.Record{Key: "k"})
+	if m.Maintained() != 0 {
+		t.Errorf("unrelated append maintained %d entries", m.Maintained())
+	}
+}
+
+func TestMaintainerRecordsErrors(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	loadBase(t, c, 10)
+	spec := Spec{Name: "idx", Base: "orders", Kind: Global, PartKey: partKeyFn, Keys: custKeyFn}
+	if _, err := Build(ctx, c, spec); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(ctx, c)
+	if err := m.Watch(Spec{}); err == nil {
+		t.Error("Watch of invalid spec accepted")
+	}
+	m.Watch(spec)
+	// A record the access method cannot interpret is counted, not fatal.
+	base, _ := c.File("orders")
+	base.Append(ctx, 0, lake.Record{Key: "junk", Data: []byte("not|parseable|as|int")})
+	if m.Errors() == 0 || m.LastErr() == nil {
+		t.Error("uninterpretable record did not record a maintenance error")
+	}
+}
+
+func TestMaintainerLoadingOverheadVisible(t *testing.T) {
+	// The §V-B trade-off quantified: appends to a base with two watched
+	// structures cost two maintained entries each.
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	loadBase(t, c, 20)
+	s1 := Spec{Name: "i1", Base: "orders", Kind: Global, PartKey: partKeyFn, Keys: custKeyFn}
+	s2 := Spec{Name: "i2", Base: "orders", Kind: Local, PartKey: partKeyFn, Keys: dateKeyFn}
+	if _, err := Build(ctx, c, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(ctx, c, s2); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(ctx, c)
+	m.Watch(s1)
+	m.Watch(s2)
+	before := c.TotalMetrics()
+	base, _ := c.File("orders")
+	for i := 20; i < 30; i++ {
+		key := keycodec.Int64(int64(i))
+		data := fmt.Sprintf("%d|%d|%d", i, i%17, 20230000+i%30)
+		dfs.AppendRouted(ctx, base, key, lake.Record{Key: key, Data: []byte(data)})
+	}
+	if m.Maintained() != 20 {
+		t.Errorf("Maintained = %d, want 20 (10 appends × 2 structures)", m.Maintained())
+	}
+	// Appends counter shows 10 base + 20 index = 30 writes: the loading
+	// amplification the paper warns about.
+	if d := c.TotalMetrics().Sub(before); d.Appends != 30 {
+		t.Errorf("append amplification = %d writes, want 30", d.Appends)
+	}
+}

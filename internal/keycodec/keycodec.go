@@ -1,0 +1,183 @@
+// Package keycodec provides order-preserving encodings of scalar values and
+// tuples into byte strings.
+//
+// ReDe stores every key — primary keys, secondary-index keys, partition
+// keys — as a lake.Key, which is an opaque byte string compared
+// lexicographically. keycodec guarantees that for two values a and b of the
+// same type, a < b if and only if Encode(a) < Encode(b) as byte strings.
+// That property lets a single B-tree implementation index integers, floats,
+// dates, and strings, and lets composite keys be built by concatenation.
+//
+// Encodings:
+//
+//   - int64: offset-binary (sign bit flipped) big-endian, 8 bytes.
+//   - uint64: big-endian, 8 bytes.
+//   - float64: IEEE-754 bits, sign-flipped for positives / fully inverted
+//     for negatives (the standard order-preserving float trick), 8 bytes.
+//   - string: the bytes themselves, with 0x00 escaped as 0x00 0xFF and
+//     terminated by 0x00 0x01 so that tuple concatenation remains
+//     order-preserving and unambiguous.
+//
+// Tuples are the concatenation of their elements' encodings; fixed-width
+// elements are self-delimiting and strings carry their own terminator.
+package keycodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Int64 encodes v so that byte-wise comparison matches signed comparison.
+func Int64(v int64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v)^(1<<63))
+	return string(b[:])
+}
+
+// DecodeInt64 reverses Int64. It returns an error if s is not exactly the
+// 8-byte encoding produced by Int64.
+func DecodeInt64(s string) (int64, error) {
+	if len(s) != 8 {
+		return 0, fmt.Errorf("keycodec: int64 key has length %d, want 8", len(s))
+	}
+	u := binary.BigEndian.Uint64([]byte(s))
+	return int64(u ^ (1 << 63)), nil
+}
+
+// Uint64 encodes v big-endian so byte-wise comparison matches unsigned
+// comparison.
+func Uint64(v uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return string(b[:])
+}
+
+// DecodeUint64 reverses Uint64.
+func DecodeUint64(s string) (uint64, error) {
+	if len(s) != 8 {
+		return 0, fmt.Errorf("keycodec: uint64 key has length %d, want 8", len(s))
+	}
+	return binary.BigEndian.Uint64([]byte(s)), nil
+}
+
+// Float64 encodes v so that byte-wise comparison matches IEEE-754 total
+// order on the reals (NaNs sort after +Inf; -0 and +0 encode distinctly but
+// adjacent).
+func Float64(v float64) string {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: invert all so more-negative sorts first
+	} else {
+		bits |= 1 << 63 // positive: set sign so positives sort after negatives
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], bits)
+	return string(b[:])
+}
+
+// DecodeFloat64 reverses Float64.
+func DecodeFloat64(s string) (float64, error) {
+	if len(s) != 8 {
+		return 0, fmt.Errorf("keycodec: float64 key has length %d, want 8", len(s))
+	}
+	bits := binary.BigEndian.Uint64([]byte(s))
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// String terminator and escape bytes. A raw 0x00 inside the string is
+// escaped to 0x00 0xFF; the terminator 0x00 0x01 sorts below any escaped
+// byte, so "a" < "a\x00b" < "ab" holds after encoding, matching Go string
+// order.
+const (
+	strTerm1 = 0x00
+	strTerm2 = 0x01
+	strEsc2  = 0xFF
+)
+
+// String encodes s with escaping and a terminator so that concatenated
+// tuple encodings remain order-preserving.
+func String(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == 0x00 {
+			b.WriteByte(0x00)
+			b.WriteByte(strEsc2)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	b.WriteByte(strTerm1)
+	b.WriteByte(strTerm2)
+	return b.String()
+}
+
+// DecodeString reverses String, returning the decoded value and the number
+// of encoded bytes consumed (so tuples can be decoded element-wise).
+func DecodeString(enc string) (val string, n int, err error) {
+	var b strings.Builder
+	for i := 0; i < len(enc); i++ {
+		c := enc[i]
+		if c != 0x00 {
+			b.WriteByte(c)
+			continue
+		}
+		if i+1 >= len(enc) {
+			return "", 0, fmt.Errorf("keycodec: truncated string key")
+		}
+		switch enc[i+1] {
+		case strTerm2:
+			return b.String(), i + 2, nil
+		case strEsc2:
+			b.WriteByte(0x00)
+			i++
+		default:
+			return "", 0, fmt.Errorf("keycodec: invalid escape 0x00 0x%02x", enc[i+1])
+		}
+	}
+	return "", 0, fmt.Errorf("keycodec: unterminated string key")
+}
+
+// Tuple concatenates already-encoded elements into a composite key. It is a
+// convenience for readability at call sites.
+func Tuple(elems ...string) string {
+	switch len(elems) {
+	case 0:
+		return ""
+	case 1:
+		return elems[0]
+	}
+	var b strings.Builder
+	n := 0
+	for _, e := range elems {
+		n += len(e)
+	}
+	b.Grow(n)
+	for _, e := range elems {
+		b.WriteString(e)
+	}
+	return b.String()
+}
+
+// PrefixSuccessor returns the smallest string greater than every string with
+// the given prefix, or "" if no such string exists (prefix is all 0xFF).
+// It is used to turn a prefix match into a half-open key range
+// [prefix, PrefixSuccessor(prefix)).
+func PrefixSuccessor(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,214 @@
+package keycodec
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{math.MinInt64, -1e12, -2, -1, 0, 1, 2, 42, 1e12, math.MaxInt64} {
+		got, err := DecodeInt64(Int64(v))
+		if err != nil {
+			t.Fatalf("DecodeInt64(Int64(%d)): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestInt64OrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		return (a < b) == (Int64(a) < Int64(b))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64RoundTripAndOrder(t *testing.T) {
+	if err := quick.Check(func(a, b uint64) bool {
+		ra, err := DecodeUint64(Uint64(a))
+		if err != nil || ra != a {
+			return false
+		}
+		return (a < b) == (Uint64(a) < Uint64(b))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, v := range []float64{math.Inf(-1), -math.MaxFloat64, -1.5, -math.SmallestNonzeroFloat64, 0, math.SmallestNonzeroFloat64, 1.5, math.MaxFloat64, math.Inf(1)} {
+		got, err := DecodeFloat64(Float64(v))
+		if err != nil {
+			t.Fatalf("DecodeFloat64: %v", err)
+		}
+		if got != v {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestFloat64OrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true // NaN ordering unspecified
+		}
+		if a == b {
+			// -0 and +0 encode distinctly; only require consistency.
+			return true
+		}
+		return (a < b) == (Float64(a) < Float64(b))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{"", "a", "abc", "a\x00b", "\x00", "\x00\x00", "\xff", "日本語", strings.Repeat("\x00\xff", 10)}
+	for _, s := range cases {
+		enc := String(s)
+		got, n, err := DecodeString(enc)
+		if err != nil {
+			t.Fatalf("DecodeString(%q): %v", s, err)
+		}
+		if got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if n != len(enc) {
+			t.Errorf("consumed %d of %d bytes for %q", n, len(enc), s)
+		}
+	}
+}
+
+func TestStringOrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b string) bool {
+		return (a < b) == (String(a) < String(b))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRoundTripQuick(t *testing.T) {
+	if err := quick.Check(func(s string) bool {
+		got, n, err := DecodeString(String(s))
+		return err == nil && got == s && n == len(String(s))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeInt64("short"); err == nil {
+		t.Error("DecodeInt64(short) should fail")
+	}
+	if _, err := DecodeUint64("123456789"); err == nil {
+		t.Error("DecodeUint64(9 bytes) should fail")
+	}
+	if _, err := DecodeFloat64(""); err == nil {
+		t.Error("DecodeFloat64(empty) should fail")
+	}
+	if _, _, err := DecodeString("abc"); err == nil {
+		t.Error("DecodeString without terminator should fail")
+	}
+	if _, _, err := DecodeString("abc\x00"); err == nil {
+		t.Error("DecodeString with truncated escape should fail")
+	}
+	if _, _, err := DecodeString("abc\x00\x02"); err == nil {
+		t.Error("DecodeString with bad escape should fail")
+	}
+}
+
+func TestTupleOrderPreserving(t *testing.T) {
+	// Tuples of (string, int64) compare like their lexicographic pair order.
+	if err := quick.Check(func(s1 string, i1 int64, s2 string, i2 int64) bool {
+		t1 := Tuple(String(s1), Int64(i1))
+		t2 := Tuple(String(s2), Int64(i2))
+		want := s1 < s2 || (s1 == s2 && i1 < i2)
+		return (t1 < t2) == want
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleDecodeElementwise(t *testing.T) {
+	enc := Tuple(String("order"), Int64(42))
+	s, n, err := DecodeString(enc)
+	if err != nil || s != "order" {
+		t.Fatalf("first element: %q, %v", s, err)
+	}
+	v, err := DecodeInt64(enc[n:])
+	if err != nil || v != 42 {
+		t.Fatalf("second element: %d, %v", v, err)
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"a", "b"},
+		{"az", "a{"},
+		{"a\xff", "b"},
+		{"\xff\xff", ""},
+	}
+	for _, c := range cases {
+		if got := PrefixSuccessor(c.in); got != c.want {
+			t.Errorf("PrefixSuccessor(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixSuccessorBoundsPrefixRange(t *testing.T) {
+	if err := quick.Check(func(prefix, rest string) bool {
+		succ := PrefixSuccessor(prefix)
+		s := prefix + rest
+		if succ == "" {
+			return s >= prefix
+		}
+		return s >= prefix && s < succ
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedEncodedKeysMatchValueOrder(t *testing.T) {
+	vals := []int64{5, -3, 99, 0, -88, 7, 7, 2}
+	enc := make([]string, len(vals))
+	for i, v := range vals {
+		enc[i] = Int64(v)
+	}
+	sort.Strings(enc)
+	prev := int64(math.MinInt64)
+	for _, e := range enc {
+		v, err := DecodeInt64(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("sorted encodings decode out of order: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkInt64Encode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Int64(int64(i))
+	}
+}
+
+func BenchmarkStringEncode(b *testing.B) {
+	s := "a-representative-key-with-some-length"
+	for i := 0; i < b.N; i++ {
+		String(s)
+	}
+}
+
+func BenchmarkTupleEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Tuple(Int64(int64(i)), Int64(int64(i%7)))
+	}
+}

@@ -1,0 +1,61 @@
+package lake
+
+import (
+	"fmt"
+	"strings"
+
+	"lakeharbor/internal/keycodec"
+)
+
+// Composite records.
+//
+// A multi-way join needs the partial join result to flow through the
+// Reference-Dereference chain: a Referencer can attach the current record as
+// *carried context* on the pointers it emits, and the next Dereferencer can
+// combine that context with each record it fetches. The combined payload is
+// a *segment list* — a concatenation of self-delimiting segments, one per
+// base record joined so far — which downstream Interpreters split again for
+// schema-on-read.
+//
+// Segments reuse keycodec's escaped string encoding, so arbitrary payload
+// bytes are safe.
+
+// EncodeSegments packs payloads into one segment-list payload.
+func EncodeSegments(segs ...[]byte) []byte {
+	var out []byte
+	for _, s := range segs {
+		out = append(out, keycodec.String(string(s))...)
+	}
+	return out
+}
+
+// AppendSegment appends one more payload to an existing segment list.
+func AppendSegment(list []byte, seg []byte) []byte {
+	return append(append([]byte{}, list...), keycodec.String(string(seg))...)
+}
+
+// DecodeSegments splits a segment-list payload into its payloads.
+func DecodeSegments(data []byte) ([][]byte, error) {
+	var out [][]byte
+	s := string(data)
+	for len(s) > 0 {
+		seg, n, err := keycodec.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("lake: bad segment list: %w", err)
+		}
+		out = append(out, []byte(seg))
+		s = s[n:]
+	}
+	return out, nil
+}
+
+// PrefixRange returns the inclusive key range [lo, hi] covering every key
+// that begins with prefix. Because B-tree ranges here are inclusive on both
+// ends, hi cannot be the prefix successor — a bare key can equal it (e.g.
+// the 8-byte encoding of n+1 is exactly the successor of n's). Instead hi
+// pads the prefix with 64 0xFF bytes: every key prefix+suffix with
+// len(suffix) <= 64 sorts at or below it, and longer suffixes would need 64
+// consecutive 0xFF bytes to escape, which no keycodec encoding produces.
+func PrefixRange(prefix Key) (lo, hi Key) {
+	return prefix, prefix + strings.Repeat("\xff", 64)
+}

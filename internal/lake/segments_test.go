@@ -1,0 +1,159 @@
+package lake
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lakeharbor/internal/keycodec"
+)
+
+func TestSegmentsRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{},
+		{[]byte("one")},
+		{[]byte("a"), []byte("b"), []byte("c")},
+		{nil, []byte(""), []byte("x")},
+		{[]byte{0x00, 0x01, 0xFF}, []byte("plain")},
+	}
+	for _, segs := range cases {
+		enc := EncodeSegments(segs...)
+		got, err := DecodeSegments(enc)
+		if err != nil {
+			t.Fatalf("DecodeSegments: %v", err)
+		}
+		if len(got) != len(segs) {
+			t.Fatalf("got %d segments, want %d", len(got), len(segs))
+		}
+		for i := range segs {
+			if !bytes.Equal(got[i], segs[i]) {
+				t.Fatalf("segment %d: %q != %q", i, got[i], segs[i])
+			}
+		}
+	}
+}
+
+func TestSegmentsRoundTripQuick(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		enc := EncodeSegments(a, b, c)
+		got, err := DecodeSegments(enc)
+		if err != nil || len(got) != 3 {
+			return false
+		}
+		return bytes.Equal(got[0], a) && bytes.Equal(got[1], b) && bytes.Equal(got[2], c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendSegment(t *testing.T) {
+	list := EncodeSegments([]byte("first"))
+	list2 := AppendSegment(list, []byte("second"))
+	// AppendSegment must not mutate its input.
+	got1, err := DecodeSegments(list)
+	if err != nil || len(got1) != 1 {
+		t.Fatalf("original list mutated: %v %v", got1, err)
+	}
+	got2, err := DecodeSegments(list2)
+	if err != nil || len(got2) != 2 || string(got2[1]) != "second" {
+		t.Fatalf("appended list wrong: %v %v", got2, err)
+	}
+	// Appending to an empty list yields a one-segment list.
+	single, err := DecodeSegments(AppendSegment(nil, []byte("only")))
+	if err != nil || len(single) != 1 || string(single[0]) != "only" {
+		t.Fatalf("append to nil: %v %v", single, err)
+	}
+}
+
+func TestDecodeSegmentsErrors(t *testing.T) {
+	if _, err := DecodeSegments([]byte("unterminated")); err == nil {
+		t.Error("unterminated segment accepted")
+	}
+	if _, err := DecodeSegments([]byte{0x00, 0x02}); err == nil {
+		t.Error("bad escape accepted")
+	}
+}
+
+func TestPrefixRangeCoversExactlyPrefix(t *testing.T) {
+	prefix := keycodec.Int64(42)
+	lo, hi := PrefixRange(prefix)
+	inside := []Key{
+		prefix,
+		keycodec.Tuple(prefix, keycodec.Int64(0)),
+		keycodec.Tuple(prefix, keycodec.Int64(1<<40)),
+		prefix + "\xff\xff",
+	}
+	outside := []Key{
+		keycodec.Int64(41),
+		keycodec.Int64(43),
+		keycodec.Tuple(keycodec.Int64(43), keycodec.Int64(0)),
+	}
+	for _, k := range inside {
+		if k < lo || k > hi {
+			t.Errorf("key %x escaped prefix range", k)
+		}
+	}
+	for _, k := range outside {
+		if k >= lo && k <= hi {
+			t.Errorf("foreign key %x inside prefix range", k)
+		}
+	}
+}
+
+func TestPrefixRangeQuick(t *testing.T) {
+	f := func(p int64, suffix string) bool {
+		prefix := keycodec.Int64(p)
+		lo, hi := PrefixRange(prefix)
+		k := prefix + keycodec.String(suffix)
+		return k >= lo && k <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixRangeAllFF(t *testing.T) {
+	prefix := strings.Repeat("\xff", 4)
+	lo, hi := PrefixRange(prefix)
+	k := prefix + "suffix"
+	if k < lo || k > hi {
+		t.Error("all-0xFF prefix range does not cover its keys")
+	}
+}
+
+func TestIndexEntryRoundTrip(t *testing.T) {
+	part, pk := keycodec.Int64(7), keycodec.Tuple(keycodec.Int64(7), keycodec.Int64(3))
+	gotPart, gotPK, err := DecodeIndexEntry(EncodeIndexEntry(part, pk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPart != part || gotPK != pk {
+		t.Error("index entry round trip mismatch")
+	}
+}
+
+func TestIndexEntryRoundTripQuick(t *testing.T) {
+	f := func(part, pk string) bool {
+		p, k, err := DecodeIndexEntry(EncodeIndexEntry(part, pk))
+		return err == nil && p == part && k == pk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeIndexEntryErrors(t *testing.T) {
+	if _, _, err := DecodeIndexEntry([]byte("garbage")); err == nil {
+		t.Error("garbage index entry accepted")
+	}
+	// Trailing bytes after the two fields are an error.
+	bad := append(EncodeIndexEntry("a", "b"), 'x', 0x00, 0x01)
+	if _, _, err := DecodeIndexEntry(bad); err == nil {
+		t.Error("index entry with trailing bytes accepted")
+	}
+	if _, _, err := DecodeIndexEntry(nil); err == nil {
+		t.Error("empty index entry accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Package metrics provides the counters the experiments report on.
+//
+// Figure 9 of the paper compares systems by *number of record accesses*, so
+// the counters are first-class outputs here, not just debug telemetry. Every
+// dfs node owns a Counters; engines read Snapshots before and after a query
+// and report the difference.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters is a set of monotonically increasing counters, safe for
+// concurrent use. The zero value is ready to use.
+type Counters struct {
+	lookups        atomic.Int64
+	recordsRead    atomic.Int64
+	recordsScanned atomic.Int64
+	remoteFetches  atomic.Int64
+	bytesRead      atomic.Int64
+	appends        atomic.Int64
+}
+
+// AddLookup records one random lookup operation (point or range).
+func (c *Counters) AddLookup() { c.lookups.Add(1) }
+
+// AddRecordsRead records n records returned by lookups.
+func (c *Counters) AddRecordsRead(n int) { c.recordsRead.Add(int64(n)) }
+
+// AddRecordsScanned records n records visited by sequential scans.
+func (c *Counters) AddRecordsScanned(n int) { c.recordsScanned.Add(int64(n)) }
+
+// AddRemoteFetch records one cross-node access.
+func (c *Counters) AddRemoteFetch() { c.remoteFetches.Add(1) }
+
+// AddBytesRead records n payload bytes delivered to the caller.
+func (c *Counters) AddBytesRead(n int) { c.bytesRead.Add(int64(n)) }
+
+// AddAppend records n records appended.
+func (c *Counters) AddAppend(n int) { c.appends.Add(int64(n)) }
+
+// Snapshot returns a point-in-time copy of the counters.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Lookups:        c.lookups.Load(),
+		RecordsRead:    c.recordsRead.Load(),
+		RecordsScanned: c.recordsScanned.Load(),
+		RemoteFetches:  c.remoteFetches.Load(),
+		BytesRead:      c.bytesRead.Load(),
+		Appends:        c.appends.Load(),
+	}
+}
+
+// Snapshot is an immutable copy of a Counters at one instant.
+type Snapshot struct {
+	Lookups        int64
+	RecordsRead    int64
+	RecordsScanned int64
+	RemoteFetches  int64
+	BytesRead      int64
+	Appends        int64
+}
+
+// Sub returns the element-wise difference s - o: the activity between two
+// snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Lookups:        s.Lookups - o.Lookups,
+		RecordsRead:    s.RecordsRead - o.RecordsRead,
+		RecordsScanned: s.RecordsScanned - o.RecordsScanned,
+		RemoteFetches:  s.RemoteFetches - o.RemoteFetches,
+		BytesRead:      s.BytesRead - o.BytesRead,
+		Appends:        s.Appends - o.Appends,
+	}
+}
+
+// Add returns the element-wise sum s + o, for aggregating across nodes.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		Lookups:        s.Lookups + o.Lookups,
+		RecordsRead:    s.RecordsRead + o.RecordsRead,
+		RecordsScanned: s.RecordsScanned + o.RecordsScanned,
+		RemoteFetches:  s.RemoteFetches + o.RemoteFetches,
+		BytesRead:      s.BytesRead + o.BytesRead,
+		Appends:        s.Appends + o.Appends,
+	}
+}
+
+// RecordAccesses is the Fig. 9 metric: every record touched, whether by a
+// lookup or a scan.
+func (s Snapshot) RecordAccesses() int64 { return s.RecordsRead + s.RecordsScanned }
+
+// String renders the snapshot compactly for harness output.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("lookups=%d read=%d scanned=%d remote=%d bytes=%d appends=%d",
+		s.Lookups, s.RecordsRead, s.RecordsScanned, s.RemoteFetches, s.BytesRead, s.Appends)
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	var c Counters
+	c.AddLookup()
+	c.AddLookup()
+	c.AddRecordsRead(5)
+	c.AddRecordsScanned(100)
+	c.AddRemoteFetch()
+	c.AddBytesRead(1024)
+	c.AddAppend(3)
+	s := c.Snapshot()
+	if s.Lookups != 2 || s.RecordsRead != 5 || s.RecordsScanned != 100 ||
+		s.RemoteFetches != 1 || s.BytesRead != 1024 || s.Appends != 3 {
+		t.Errorf("unexpected snapshot: %+v", s)
+	}
+	if s.RecordAccesses() != 105 {
+		t.Errorf("RecordAccesses = %d, want 105", s.RecordAccesses())
+	}
+}
+
+func TestSubAdd(t *testing.T) {
+	a := Snapshot{Lookups: 10, RecordsRead: 20, RecordsScanned: 30, RemoteFetches: 1, BytesRead: 100, Appends: 2}
+	b := Snapshot{Lookups: 4, RecordsRead: 5, RecordsScanned: 6, RemoteFetches: 1, BytesRead: 10, Appends: 1}
+	d := a.Sub(b)
+	if d.Lookups != 6 || d.RecordsRead != 15 || d.RecordsScanned != 24 || d.RemoteFetches != 0 || d.BytesRead != 90 || d.Appends != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if got := b.Add(d); got != a {
+		t.Errorf("b.Add(a.Sub(b)) = %+v, want %+v", got, a)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.AddLookup()
+				c.AddRecordsRead(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Lookups != 5000 || s.RecordsRead != 10000 {
+		t.Errorf("concurrent counts: %+v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Snapshot{Lookups: 1, RecordsRead: 2}
+	if out := s.String(); !strings.Contains(out, "lookups=1") || !strings.Contains(out, "read=2") {
+		t.Errorf("String() = %q", out)
+	}
+}

@@ -1,0 +1,141 @@
+package planner
+
+import (
+	"fmt"
+
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/lake"
+)
+
+// CompileJob lowers a declarative Query to a Reference-Dereference job:
+// the driving range becomes seed pointers + a RangeDeref over the driver
+// index, each join hop becomes a FieldRef (with carried context) plus a
+// combining Dereferencer — via a global index, a prefix range, or a direct
+// primary-key fetch — and predicates become schema-on-read Filters over the
+// accumulated composite.
+func CompileJob(q *Query) (*core.Job, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := []lake.Pointer{{File: q.DriverIndex, NoPart: true, Key: q.DriverLo, EndKey: q.DriverHi}}
+
+	// interps[i] interprets segment i of the accumulated composite.
+	interps := []core.Interpreter{q.From.Interp}
+	merged := func() core.Interpreter {
+		if len(interps) == 1 {
+			return interps[0]
+		}
+		cp := make([]core.Interpreter, len(interps))
+		copy(cp, interps)
+		return core.Composite(cp...)
+	}
+	// lift turns a Fields predicate into a record Filter via the current
+	// composite interpreter.
+	lift := func(pred func(core.Fields) (bool, error)) core.Filter {
+		if pred == nil {
+			return nil
+		}
+		interp := merged()
+		return func(rec lake.Record) (bool, error) {
+			f, err := interp(rec)
+			if err != nil {
+				return false, err
+			}
+			return pred(f)
+		}
+	}
+	andFilter := func(a, b core.Filter) core.Filter {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		return func(rec lake.Record) (bool, error) {
+			ok, err := a(rec)
+			if err != nil || !ok {
+				return false, err
+			}
+			return b(rec)
+		}
+	}
+
+	funcs := []any{
+		core.RangeDeref{File: q.DriverIndex},
+		core.EntryRef{Target: q.From.Name},
+	}
+	// The base-table fetch; filters are attached below once we know
+	// whether it is the final stage.
+	baseFetch := core.LookupDeref{File: q.From.Name}
+	if len(q.Joins) == 0 {
+		baseFetch.Filter = andFilter(lift(q.DriverPred), lift(q.Where))
+		// The driving predicate is implied by the index range; lifting it
+		// again is a cheap sanity net and makes the compiled job
+		// independent of index correctness.
+		funcs = append(funcs, baseFetch)
+		return core.NewJob(q.Name, seeds, funcs...)
+	}
+	funcs = append(funcs, baseFetch)
+
+	for i, j := range q.Joins {
+		carry := core.CarryComposite
+		if i == 0 {
+			carry = core.CarryRecord
+		}
+		fieldInterp := merged()
+		last := i == len(q.Joins)-1
+
+		switch {
+		case j.ViaIndex != "":
+			funcs = append(funcs,
+				core.FieldRef{Target: j.ViaIndex, Interp: fieldInterp,
+					Field: j.FromField, Encode: j.To.Encode, Carry: carry},
+				core.LookupDeref{File: j.ViaIndex, Combine: true},
+				core.EntryRef{Target: j.To.Name, FromComposite: true},
+			)
+			interps = append(interps, j.To.Interp)
+			funcs = append(funcs, core.LookupDeref{
+				File:    j.To.Name,
+				Combine: true,
+				Filter:  joinFilter(q, j, last, lift, andFilter),
+			})
+		case j.Prefix:
+			funcs = append(funcs, core.FieldRef{Target: j.To.Name, Interp: fieldInterp,
+				Field: j.FromField, Encode: j.To.Encode, Prefix: true, Carry: carry})
+			interps = append(interps, j.To.Interp)
+			funcs = append(funcs, core.RangeDeref{
+				File:    j.To.Name,
+				Combine: true,
+				Filter:  joinFilter(q, j, last, lift, andFilter),
+			})
+		default:
+			funcs = append(funcs, core.FieldRef{Target: j.To.Name, Interp: fieldInterp,
+				Field: j.FromField, Encode: j.To.Encode, Carry: carry})
+			interps = append(interps, j.To.Interp)
+			funcs = append(funcs, core.LookupDeref{
+				File:    j.To.Name,
+				Combine: true,
+				Filter:  joinFilter(q, j, last, lift, andFilter),
+			})
+		}
+	}
+	job, err := core.NewJob(q.Name, seeds, funcs...)
+	if err != nil {
+		return nil, fmt.Errorf("planner: compiling %q: %w", q.Name, err)
+	}
+	return job, nil
+}
+
+// joinFilter builds the Filter for a join hop's Dereferencer: the hop's
+// own predicate, plus the query's Where on the final hop. lift must be
+// called *after* interps has been extended with the hop's table, which
+// holds at every call site.
+func joinFilter(q *Query, j Join, last bool,
+	lift func(func(core.Fields) (bool, error)) core.Filter,
+	and func(a, b core.Filter) core.Filter) core.Filter {
+	f := lift(j.Pred)
+	if last {
+		f = and(f, lift(q.Where))
+	}
+	return f
+}

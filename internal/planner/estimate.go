@@ -1,0 +1,62 @@
+package planner
+
+import (
+	"context"
+	"fmt"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// sampledPartitions is how many index partitions EstimateRangeRows reads to
+// extrapolate the range cardinality. Hash-partitioned indexes spread any
+// key range evenly, so a small sample is accurate; range-partitioned
+// indexes fall back to exact per-partition counting over the overlap.
+const sampledPartitions = 2
+
+// EstimateRangeRows estimates how many index entries fall in [lo, hi] by
+// sampling partitions and extrapolating.
+func EstimateRangeRows(ctx context.Context, cluster *dfs.Cluster, index string, lo, hi lake.Key) (int64, error) {
+	bf, err := cluster.BtreeFile(index)
+	if err != nil {
+		return 0, fmt.Errorf("planner: driver index: %w", err)
+	}
+	n := bf.NumPartitions()
+
+	if rp, ok := bf.Partitioner().(lake.RangePartitioner); ok {
+		// Range partitioning localizes the range: count it exactly.
+		var total int64
+		for _, p := range rp.PartitionsOverlapping(lo, hi, n) {
+			c, err := countRange(ctx, bf, p, lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			total += c
+		}
+		return total, nil
+	}
+
+	sample := sampledPartitions
+	if sample > n {
+		sample = n
+	}
+	var counted int64
+	for p := 0; p < sample; p++ {
+		c, err := countRange(ctx, bf, p, lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		counted += c
+	}
+	// Extrapolate with rounding.
+	return (counted*int64(n) + int64(sample)/2) / int64(sample), nil
+}
+
+// countRange counts matching entries in one partition.
+func countRange(ctx context.Context, bf lake.BtreeFile, partition int, lo, hi lake.Key) (int64, error) {
+	recs, err := bf.LookupRange(ctx, partition, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(recs)), nil
+}

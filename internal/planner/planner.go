@@ -1,0 +1,289 @@
+// Package planner implements the paper's §V-A and §V-D research directions:
+// a higher-level, declarative abstraction on top of Reference-Dereference,
+// and the selectivity-based plan choice the paper says would let ReDe
+// "perform comparably with Impala in the high selectivity range".
+//
+// A Query declares a driving range predicate over an indexed column and a
+// chain of equi-joins; the planner
+//
+//  1. estimates the driving predicate's selectivity by sampling the index,
+//  2. costs an index plan (a generated Reference-Dereference job run with
+//     SMPE) against a scan plan (full scans + hash joins on the baseline
+//     engine) using the cluster's cost model, and
+//  3. compiles and executes the cheaper one.
+//
+// The compiled index plan uses exactly the pre-defined Referencers and
+// Dereferencers of internal/core, so the planner is evidence for the
+// paper's claim that a higher-level layer can sit on the abstraction
+// without changing the engine.
+package planner
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"lakeharbor/internal/baseline"
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// Table describes one base file to the planner.
+type Table struct {
+	// Name is the catalog file name.
+	Name string
+	// Interp interprets the table's raw records.
+	Interp core.Interpreter
+	// Key is the field name of the primary key (also the partition key).
+	Key string
+	// Encode converts field values of the key (and of join fields) to
+	// ordered keys.
+	Encode func(string) (lake.Key, error)
+}
+
+// Join is one hop of the join chain: match a field of the rows
+// accumulated so far against a column of table To.
+type Join struct {
+	// FromField is the field (of the accumulated composite row) whose
+	// value drives the join.
+	FromField string
+	// To is the table being joined in.
+	To Table
+	// ToField is the matched column of To. If it equals To.Key the join
+	// fetches rows directly by primary key; if ViaIndex names a global
+	// index on ToField, the join probes the index; if Prefix is set, To's
+	// rows are keyed by (FromField, ...) and fetched by prefix range.
+	ToField string
+	// ViaIndex is the catalog name of a global index on To(ToField).
+	ViaIndex string
+	// Prefix selects prefix-range fetching on To's primary key order.
+	Prefix bool
+	// Pred optionally drops rows right after this hop, evaluated over the
+	// merged schema-on-read fields of everything joined so far.
+	Pred func(core.Fields) (bool, error)
+}
+
+// Query is a declarative select-project-join over the catalog.
+type Query struct {
+	// Name labels the query.
+	Name string
+	// From is the driving table.
+	From Table
+	// DriverIndex is an index over From; the driving predicate is a key
+	// range on it.
+	DriverIndex string
+	// DriverLo and DriverHi bound the driving predicate (inclusive).
+	DriverLo, DriverHi lake.Key
+	// DriverPred is the same predicate as the index range, expressed over
+	// From's fields; the scan plan needs it because it has no index to
+	// push the range into.
+	DriverPred func(core.Fields) (bool, error)
+	// Joins is the join chain, applied in order.
+	Joins []Join
+	// Where optionally filters the final rows, evaluated over the merged
+	// fields of the whole chain.
+	Where func(core.Fields) (bool, error)
+}
+
+// Validate checks the query's structural requirements.
+func (q *Query) Validate() error {
+	if q.From.Name == "" || q.From.Interp == nil || q.From.Encode == nil {
+		return fmt.Errorf("planner: query %q: From table incomplete", q.Name)
+	}
+	if q.DriverIndex == "" {
+		return fmt.Errorf("planner: query %q: no driver index", q.Name)
+	}
+	if q.DriverLo > q.DriverHi {
+		return fmt.Errorf("planner: query %q: empty driver range", q.Name)
+	}
+	if q.DriverPred == nil {
+		return fmt.Errorf("planner: query %q: DriverPred is required (the scan plan has no index to bound)", q.Name)
+	}
+	for i, j := range q.Joins {
+		if j.To.Name == "" || j.To.Interp == nil || j.To.Encode == nil {
+			return fmt.Errorf("planner: query %q: join %d target incomplete", q.Name, i)
+		}
+		if j.FromField == "" {
+			return fmt.Errorf("planner: query %q: join %d has no FromField", q.Name, i)
+		}
+		if j.ViaIndex != "" && j.Prefix {
+			return fmt.Errorf("planner: query %q: join %d sets both ViaIndex and Prefix", q.Name, i)
+		}
+	}
+	return nil
+}
+
+// Strategy names a chosen execution strategy.
+type Strategy int
+
+const (
+	// IndexPlan executes a generated Reference-Dereference job with SMPE.
+	IndexPlan Strategy = iota
+	// ScanPlan executes full scans + hash joins on the baseline engine.
+	ScanPlan
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == ScanPlan {
+		return "scan"
+	}
+	return "index"
+}
+
+// Plan is a costed, executable plan.
+type Plan struct {
+	Query    *Query
+	Strategy Strategy
+	// EstimatedDriverRows is the sampled estimate of rows matching the
+	// driving predicate.
+	EstimatedDriverRows int64
+	// EstimatedIndexCost and EstimatedScanCost are the modeled execution
+	// times of the two strategies.
+	EstimatedIndexCost time.Duration
+	EstimatedScanCost  time.Duration
+
+	planner *Planner
+}
+
+// Explain renders the planning decision for humans.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %q: strategy=%s\n", p.Query.Name, p.Strategy)
+	fmt.Fprintf(&b, "  estimated driver rows: %d\n", p.EstimatedDriverRows)
+	fmt.Fprintf(&b, "  estimated cost: index=%v scan=%v\n", p.EstimatedIndexCost, p.EstimatedScanCost)
+	fmt.Fprintf(&b, "  chain: %s[%s]", p.Query.From.Name, p.Query.DriverIndex)
+	for _, j := range p.Query.Joins {
+		how := "pk"
+		if j.ViaIndex != "" {
+			how = "idx:" + j.ViaIndex
+		} else if j.Prefix {
+			how = "prefix"
+		}
+		fmt.Fprintf(&b, " ⋈(%s→%s.%s via %s)", j.FromField, j.To.Name, j.ToField, how)
+	}
+	return b.String()
+}
+
+// Planner plans and executes queries over one cluster.
+type Planner struct {
+	cluster *dfs.Cluster
+	engine  *baseline.Engine
+	// SMPEOptions configures index-plan execution.
+	SMPEOptions core.Options
+}
+
+// New returns a Planner over the cluster. coresPerNode configures the scan
+// engine's static parallelism (0 = default).
+func New(cluster *dfs.Cluster, coresPerNode int) *Planner {
+	return &Planner{
+		cluster: cluster,
+		engine:  baseline.New(cluster, coresPerNode),
+	}
+}
+
+// Plan estimates costs for both strategies and picks the cheaper one.
+func (pl *Planner) Plan(ctx context.Context, q *Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	driverRows, err := EstimateRangeRows(ctx, pl.cluster, q.DriverIndex, q.DriverLo, q.DriverHi)
+	if err != nil {
+		return nil, err
+	}
+	idxCost, scanCost, err := pl.costs(q, driverRows)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Query:               q,
+		EstimatedDriverRows: driverRows,
+		EstimatedIndexCost:  idxCost,
+		EstimatedScanCost:   scanCost,
+		planner:             pl,
+	}
+	if scanCost < idxCost {
+		p.Strategy = ScanPlan
+	}
+	return p, nil
+}
+
+// Execute runs the plan and returns the final rows as composite records
+// (index plan) or equivalent joined rows (scan plan), plus the count.
+func (p *Plan) Execute(ctx context.Context) (*core.Result, error) {
+	switch p.Strategy {
+	case IndexPlan:
+		job, err := CompileJob(p.Query)
+		if err != nil {
+			return nil, err
+		}
+		return core.ExecuteSMPE(ctx, job, p.planner.cluster, p.planner.cluster, p.planner.SMPEOptions)
+	default:
+		return p.planner.executeScan(ctx, p.Query)
+	}
+}
+
+// costs models both strategies with the cluster's cost model. The index
+// plan pays one random lookup per touched record, overlapped up to the
+// cluster's aggregate I/O service concurrency; the scan plan pays a
+// streaming scan of every joined table, overlapped across partitions up to
+// per-node spindles/cores.
+func (pl *Planner) costs(q *Query, driverRows int64) (idx, scan time.Duration, err error) {
+	cost := pl.cluster.Cost()
+	nodes := pl.cluster.NumNodes()
+
+	// Aggregate service concurrency for random I/O.
+	conc := nodes * cost.Spindles
+	if conc <= 0 {
+		conc = nodes * 64 // effectively unbounded model; just overlap a lot
+	}
+
+	// Index plan: per driver row, one fetch of the base record plus each
+	// join hop (index probes count as an extra lookup). Fanout per hop is
+	// unknown without column stats; assume 1 (equi-joins on keys) plus
+	// one extra for prefix hops, which is the right order of magnitude
+	// for the workloads here.
+	lookupsPerRow := int64(1)
+	for _, j := range q.Joins {
+		lookupsPerRow++
+		if j.ViaIndex != "" || j.Prefix {
+			lookupsPerRow++
+		}
+	}
+	totalLookups := driverRows*lookupsPerRow + int64(nodes) // + seed ranges
+	idx = time.Duration(totalLookups) * cost.LookupLatency / time.Duration(conc)
+	idx += 2 * time.Millisecond // fixed planning/startup overhead
+
+	// Scan plan: every table in the chain is scanned once.
+	totalScanned := int64(0)
+	tables := []string{q.From.Name}
+	for _, j := range q.Joins {
+		tables = append(tables, j.To.Name)
+	}
+	scanConc := 1
+	for _, name := range tables {
+		f, ferr := pl.cluster.File(name)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		n, ferr := pl.cluster.Len(name)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		totalScanned += int64(n)
+		if f.NumPartitions() > scanConc {
+			scanConc = f.NumPartitions()
+		}
+	}
+	if s := nodes * cost.Spindles; s > 0 && scanConc > s {
+		scanConc = s
+	}
+	if c := pl.engine.Cores() * nodes; scanConc > c {
+		scanConc = c
+	}
+	scan = time.Duration(totalScanned) * cost.ScanPerRecord / time.Duration(scanConc)
+	scan += 2 * time.Millisecond
+	return idx, scan, nil
+}

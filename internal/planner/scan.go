@@ -1,0 +1,157 @@
+package planner
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lakeharbor/internal/baseline"
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/lake"
+)
+
+// executeScan runs the query as full scans + hash joins on the baseline
+// engine. It returns the same logical rows as the compiled index plan —
+// results are materialized as composite (segment-list) records, so callers
+// can interpret either plan's output with the same Composite interpreter.
+func (pl *Planner) executeScan(ctx context.Context, q *Query) (*core.Result, error) {
+	start := time.Now()
+	interps := []core.Interpreter{q.From.Interp}
+
+	driverPred := func(rec lake.Record) (bool, error) {
+		f, err := q.From.Interp(rec)
+		if err != nil {
+			return false, err
+		}
+		return q.DriverPred(f)
+	}
+	rows, err := pl.engine.Scan(ctx, q.From.Name, driverPred)
+	if err != nil {
+		return nil, err
+	}
+	tuples := baseline.TuplesOf(rows)
+
+	for _, j := range q.Joins {
+		build, err := pl.engine.Scan(ctx, j.To.Name, nil)
+		if err != nil {
+			return nil, err
+		}
+		toField := j.ToField
+		if toField == "" {
+			toField = j.To.Key
+		}
+		buildKey := func(rec lake.Record) (string, error) {
+			f, err := j.To.Interp(rec)
+			if err != nil {
+				return "", err
+			}
+			v, ok := f[toField]
+			if !ok {
+				return "", fmt.Errorf("planner: %s has no field %q", j.To.Name, toField)
+			}
+			return j.To.Encode(v)
+		}
+		probeInterps := append([]core.Interpreter(nil), interps...)
+		probeKey := func(t baseline.Tuple) (string, error) {
+			v, err := fieldOfTuple(t, probeInterps, j.FromField)
+			if err != nil {
+				return "", err
+			}
+			return j.To.Encode(v)
+		}
+		tuples, err = baseline.HashJoin(tuples, probeKey, build, buildKey)
+		if err != nil {
+			return nil, err
+		}
+		interps = append(interps, j.To.Interp)
+		if j.Pred != nil {
+			tuples, err = filterTuples(tuples, interps, j.Pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if q.Where != nil {
+		tuples, err = filterTuples(tuples, interps, q.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &core.Result{Count: int64(len(tuples)), Elapsed: time.Since(start)}
+	if pl.SMPEOptions.KeepRecords {
+		for _, t := range tuples {
+			res.Records = append(res.Records, tupleRecord(t))
+		}
+	}
+	return res, nil
+}
+
+// fieldOfTuple finds the named field in a tuple's merged schema-on-read
+// view, searching the most recently joined table first.
+func fieldOfTuple(t baseline.Tuple, interps []core.Interpreter, field string) (string, error) {
+	for i := len(t) - 1; i >= 0; i-- {
+		if i >= len(interps) {
+			continue
+		}
+		f, err := interps[i](t[i])
+		if err != nil {
+			return "", err
+		}
+		if v, ok := f[field]; ok {
+			return v, nil
+		}
+	}
+	return "", fmt.Errorf("planner: no joined table has field %q", field)
+}
+
+// mergedFields interprets every record of the tuple and merges the maps
+// (later tables win on collisions, matching Composite).
+func mergedFields(t baseline.Tuple, interps []core.Interpreter) (core.Fields, error) {
+	out := core.Fields{}
+	for i, rec := range t {
+		if i >= len(interps) {
+			break
+		}
+		f, err := interps[i](rec)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range f {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+func filterTuples(tuples []baseline.Tuple, interps []core.Interpreter, pred func(core.Fields) (bool, error)) ([]baseline.Tuple, error) {
+	out := tuples[:0]
+	for _, t := range tuples {
+		f, err := mergedFields(t, interps)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := pred(f)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// tupleRecord materializes a joined tuple as a composite record, byte-
+// compatible with the index plan's output. Single-table rows stay raw, as
+// the index plan's final LookupDeref leaves them.
+func tupleRecord(t baseline.Tuple) lake.Record {
+	if len(t) == 1 {
+		return t[0]
+	}
+	segs := make([][]byte, len(t))
+	for i, r := range t {
+		segs[i] = r.Data
+	}
+	return lake.Record{Key: t[len(t)-1].Key, Data: lake.EncodeSegments(segs...)}
+}

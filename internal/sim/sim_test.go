@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroModel(t *testing.T) {
+	var m CostModel
+	if !m.Zero() {
+		t.Error("zero CostModel should report Zero")
+	}
+	if NewGate(m) != nil {
+		t.Error("NewGate on zero model should be nil")
+	}
+	if HDDProfile().Zero() {
+		t.Error("HDDProfile should not be Zero")
+	}
+}
+
+func TestNilGateIsFree(t *testing.T) {
+	var g *Gate
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := g.Lookup(context.Background(), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Scan(context.Background(), 1000, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) > time.Second {
+		t.Error("nil gate took too long; should be free")
+	}
+}
+
+func TestLookupCharges(t *testing.T) {
+	g := NewGate(CostModel{LookupLatency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := g.Lookup(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("lookup took %v, want >= 20ms", d)
+	}
+}
+
+func TestRemoteAddsRTT(t *testing.T) {
+	g := NewGate(CostModel{LookupLatency: 5 * time.Millisecond, NetworkRTT: 30 * time.Millisecond})
+	start := time.Now()
+	if err := g.Lookup(context.Background(), true); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 35*time.Millisecond {
+		t.Errorf("remote lookup took %v, want >= 35ms", d)
+	}
+}
+
+func TestQueueDepthSerializes(t *testing.T) {
+	// Depth 1, 10ms each, 5 concurrent lookups: must take >= 50ms.
+	g := NewGate(CostModel{LookupLatency: 10 * time.Millisecond, QueueDepth: 1})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Lookup(context.Background(), false); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("serialized lookups took %v, want >= 50ms", d)
+	}
+}
+
+func TestDeepQueueOverlaps(t *testing.T) {
+	// Depth 64, 20ms each, 32 concurrent lookups: should overlap and finish
+	// far below the serial 640ms.
+	g := NewGate(CostModel{LookupLatency: 20 * time.Millisecond, QueueDepth: 64})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Lookup(context.Background(), false); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 320*time.Millisecond {
+		t.Errorf("overlapped lookups took %v, want well under 640ms serial time", d)
+	}
+}
+
+func TestScanScalesWithRecords(t *testing.T) {
+	g := NewGate(CostModel{ScanPerRecord: time.Millisecond})
+	start := time.Now()
+	if err := g.Scan(context.Background(), 30, false); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("scan of 30 records took %v, want >= 30ms", d)
+	}
+}
+
+func TestContextCancelDuringSleep(t *testing.T) {
+	g := NewGate(CostModel{LookupLatency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Lookup(ctx, false) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled lookup returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled lookup did not return")
+	}
+}
+
+func TestContextCancelWhileQueued(t *testing.T) {
+	g := NewGate(CostModel{LookupLatency: 5 * time.Second, QueueDepth: 1})
+	// Occupy the only slot.
+	go g.Lookup(context.Background(), false)
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := g.Lookup(ctx, false); err == nil {
+		t.Error("queued lookup should fail when its context expires")
+	}
+}

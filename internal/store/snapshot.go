@@ -1,0 +1,366 @@
+// Package store implements the paper's §V-C research direction, a storage
+// layer for LakeHarbor workloads: durable on-disk snapshots of a cluster's
+// files and a write-ahead log for the raw ingest stream between snapshots.
+//
+// The snapshot format is a single self-describing stream:
+//
+//	magic "LAKEHB1\n"
+//	uint32 file count
+//	per file (sorted by name):
+//	  string  name
+//	  byte    kind            (0 = heap, 1 = btree)
+//	  byte    partitioner     (0 = hash, 1 = range)
+//	  if range: uint32 bound count, then each bound as a string
+//	  uint32  partition count
+//	  per partition:
+//	    uint64 record count
+//	    per record: string key, bytes data
+//	uint32 CRC-32 (IEEE) of everything after the magic
+//
+// Strings and byte slices are uint32-length-prefixed; integers are
+// little-endian. The trailing checksum makes torn or corrupted snapshots
+// detectable at restore time.
+package store
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+const snapshotMagic = "LAKEHB1\n"
+
+const (
+	kindHeap  byte = 0
+	kindBtree byte = 1
+
+	partHash  byte = 0
+	partRange byte = 1
+)
+
+// maxSaneLen guards length prefixes when reading untrusted snapshots.
+const maxSaneLen = 1 << 30
+
+// Snapshot serializes every file of the cluster to w.
+func Snapshot(ctx context.Context, cluster *dfs.Cluster, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	sum := crc32.NewIEEE()
+	out := io.MultiWriter(bw, sum)
+
+	names := cluster.FileNames()
+	sort.Strings(names)
+	if err := writeU32(out, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := snapshotFile(ctx, cluster, name, out); err != nil {
+			return fmt.Errorf("store: snapshot %q: %w", name, err)
+		}
+	}
+	if err := writeU32(bw, sum.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SnapshotToPath writes a snapshot to a file, atomically via a temp file.
+func SnapshotToPath(ctx context.Context, cluster *dfs.Cluster, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Snapshot(ctx, cluster, f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func snapshotFile(ctx context.Context, cluster *dfs.Cluster, name string, w io.Writer) error {
+	f, err := cluster.File(name)
+	if err != nil {
+		return err
+	}
+	if err := writeString(w, name); err != nil {
+		return err
+	}
+	kind := kindHeap
+	if k, ok := f.(interface{ Kind() dfs.Kind }); ok && k.Kind() == dfs.Btree {
+		kind = kindBtree
+	}
+	if err := writeByte(w, kind); err != nil {
+		return err
+	}
+	switch p := f.Partitioner().(type) {
+	case lake.HashPartitioner:
+		if err := writeByte(w, partHash); err != nil {
+			return err
+		}
+	case lake.RangePartitioner:
+		if err := writeByte(w, partRange); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(len(p.Bounds))); err != nil {
+			return err
+		}
+		for _, b := range p.Bounds {
+			if err := writeString(w, b); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unsupported partitioner %q", f.Partitioner().Name())
+	}
+	if err := writeU32(w, uint32(f.NumPartitions())); err != nil {
+		return err
+	}
+	for p := 0; p < f.NumPartitions(); p++ {
+		var recs []lake.Record
+		err := f.Scan(ctx, p, func(r lake.Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(len(recs))); err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := writeString(w, r.Key); err != nil {
+				return err
+			}
+			if err := writeBytes(w, r.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Restore reads a snapshot and recreates its files on the cluster. Files
+// that already exist in the catalog make the restore fail before any
+// partial state is created for them.
+func Restore(ctx context.Context, r io.Reader, cluster *dfs.Cluster) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return fmt.Errorf("store: bad magic %q", magic)
+	}
+	sum := crc32.NewIEEE()
+	tr := &teeByteReader{r: br, sum: sum}
+
+	nFiles, err := readU32(tr)
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nFiles; i++ {
+		if err := restoreFile(ctx, tr, cluster); err != nil {
+			return fmt.Errorf("store: restore file %d: %w", i, err)
+		}
+	}
+	computed := sum.Sum32()
+	stored, err := readU32(br)
+	if err != nil {
+		return fmt.Errorf("store: reading checksum: %w", err)
+	}
+	if stored != computed {
+		return fmt.Errorf("store: checksum mismatch: stored %08x, computed %08x", stored, computed)
+	}
+	return nil
+}
+
+// RestoreFromPath restores a snapshot file into the cluster.
+func RestoreFromPath(ctx context.Context, path string, cluster *dfs.Cluster) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Restore(ctx, f, cluster)
+}
+
+func restoreFile(ctx context.Context, r io.Reader, cluster *dfs.Cluster) error {
+	name, err := readString(r)
+	if err != nil {
+		return err
+	}
+	kindB, err := readByte(r)
+	if err != nil {
+		return err
+	}
+	kind := dfs.Heap
+	if kindB == kindBtree {
+		kind = dfs.Btree
+	}
+	partB, err := readByte(r)
+	if err != nil {
+		return err
+	}
+	var partitioner lake.Partitioner
+	switch partB {
+	case partHash:
+		partitioner = lake.HashPartitioner{}
+	case partRange:
+		n, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		if n > maxSaneLen {
+			return fmt.Errorf("absurd bound count %d", n)
+		}
+		bounds := make([]lake.Key, n)
+		for i := range bounds {
+			bounds[i], err = readString(r)
+			if err != nil {
+				return err
+			}
+		}
+		partitioner = lake.RangePartitioner{Bounds: bounds}
+	default:
+		return fmt.Errorf("unknown partitioner tag %d", partB)
+	}
+	nParts, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	f, err := cluster.CreateFile(name, kind, int(nParts), partitioner)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < int(nParts); p++ {
+		nRecs, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nRecs; j++ {
+			key, err := readString(r)
+			if err != nil {
+				return err
+			}
+			data, err := readBytes(r)
+			if err != nil {
+				return err
+			}
+			if err := f.Append(ctx, p, lake.Record{Key: key, Data: data}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// teeByteReader feeds every byte read into a checksum.
+type teeByteReader struct {
+	r   io.Reader
+	sum hash.Hash32
+}
+
+func (t *teeByteReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.sum.Write(p[:n])
+	}
+	return n, err
+}
+
+// Little-endian primitives with length sanity checks.
+
+func writeByte(w io.Writer, b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func readByte(r io.Reader) (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	if err := writeU32(w, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSaneLen {
+		return nil, fmt.Errorf("absurd length prefix %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func writeString(w io.Writer, s string) error { return writeBytes(w, []byte(s)) }
+
+func readString(r io.Reader) (string, error) {
+	b, err := readBytes(r)
+	return string(b), err
+}

@@ -1,0 +1,273 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// SF is the micro scale factor. SF=1 yields ~60k lineitems; the
+	// cardinality ratios between tables match TPC-H.
+	SF float64
+	// Seed makes generation deterministic; the same seed always yields
+	// the same dataset.
+	Seed int64
+}
+
+// Cardinalities at SF=1.
+const (
+	baseSuppliers    = 100
+	baseCustomers    = 1500
+	baseParts        = 2000
+	ordersPerCust    = 10
+	maxLinesPerOrder = 7
+	suppliersPerPart = 4 // partsupp rows per part, as in TPC-H
+)
+
+// The TPC-H customer market segments (used by Q3′).
+var MktSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// The 5 TPC-H regions and 25 nations with their region assignment.
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationDefs = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3},
+	{"UNITED STATES", 1},
+}
+
+// Row types. Raw() renders the '|'-delimited payload stored in the lake.
+
+// Region is one region row.
+type Region struct {
+	RegionKey int64
+	Name      string
+}
+
+// Raw renders the stored payload.
+func (r Region) Raw() string { return fmt.Sprintf("%d|%s", r.RegionKey, r.Name) }
+
+// Nation is one nation row.
+type Nation struct {
+	NationKey int64
+	Name      string
+	RegionKey int64
+}
+
+// Raw renders the stored payload.
+func (n Nation) Raw() string { return fmt.Sprintf("%d|%s|%d", n.NationKey, n.Name, n.RegionKey) }
+
+// Supplier is one supplier row.
+type Supplier struct {
+	SuppKey   int64
+	Name      string
+	NationKey int64
+	AcctBal   float64
+}
+
+// Raw renders the stored payload.
+func (s Supplier) Raw() string {
+	return fmt.Sprintf("%d|%s|%d|%.2f", s.SuppKey, s.Name, s.NationKey, s.AcctBal)
+}
+
+// Customer is one customer row.
+type Customer struct {
+	CustKey    int64
+	Name       string
+	NationKey  int64
+	AcctBal    float64
+	MktSegment string
+}
+
+// Raw renders the stored payload.
+func (c Customer) Raw() string {
+	return fmt.Sprintf("%d|%s|%d|%.2f|%s", c.CustKey, c.Name, c.NationKey, c.AcctBal, c.MktSegment)
+}
+
+// PartSupp is one part-supplier relationship row.
+type PartSupp struct {
+	PartKey    int64
+	SuppKey    int64
+	AvailQty   int64
+	SupplyCost float64
+}
+
+// Raw renders the stored payload.
+func (ps PartSupp) Raw() string {
+	return fmt.Sprintf("%d|%d|%d|%.2f", ps.PartKey, ps.SuppKey, ps.AvailQty, ps.SupplyCost)
+}
+
+// Part is one part row.
+type Part struct {
+	PartKey     int64
+	Name        string
+	RetailPrice float64
+}
+
+// Raw renders the stored payload.
+func (p Part) Raw() string {
+	return fmt.Sprintf("%d|%s|%.2f", p.PartKey, p.Name, p.RetailPrice)
+}
+
+// Order is one orders row. OrderDate is a day ordinal in [0, DateDays).
+type Order struct {
+	OrderKey   int64
+	CustKey    int64
+	OrderDate  int
+	TotalPrice float64
+}
+
+// Raw renders the stored payload.
+func (o Order) Raw() string {
+	return fmt.Sprintf("%d|%d|%d|%.2f", o.OrderKey, o.CustKey, o.OrderDate, o.TotalPrice)
+}
+
+// Lineitem is one lineitem row.
+type Lineitem struct {
+	OrderKey      int64
+	LineNumber    int64
+	PartKey       int64
+	SuppKey       int64
+	Quantity      int64
+	ExtendedPrice float64
+}
+
+// Raw renders the stored payload.
+func (l Lineitem) Raw() string {
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%.2f",
+		l.OrderKey, l.LineNumber, l.PartKey, l.SuppKey, l.Quantity, l.ExtendedPrice)
+}
+
+// Dataset is a fully generated TPC-H micro dataset.
+type Dataset struct {
+	Config    Config
+	Regions   []Region
+	Nations   []Nation
+	Suppliers []Supplier
+	Customers []Customer
+	Parts     []Part
+	PartSupps []PartSupp
+	Orders    []Order
+	Lineitems []Lineitem
+}
+
+// scaled returns max(1, round(base*sf)).
+func scaled(base int, sf float64) int {
+	n := int(float64(base)*sf + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate produces a deterministic dataset for cfg.
+func Generate(cfg Config) *Dataset {
+	if cfg.SF <= 0 {
+		cfg.SF = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Config: cfg}
+
+	for i, name := range regionNames {
+		ds.Regions = append(ds.Regions, Region{RegionKey: int64(i), Name: name})
+	}
+	for i, nd := range nationDefs {
+		ds.Nations = append(ds.Nations, Nation{NationKey: int64(i), Name: nd.name, RegionKey: int64(nd.region)})
+	}
+
+	nSupp := scaled(baseSuppliers, cfg.SF)
+	for i := 0; i < nSupp; i++ {
+		ds.Suppliers = append(ds.Suppliers, Supplier{
+			SuppKey:   int64(i + 1),
+			Name:      fmt.Sprintf("Supplier#%09d", i+1),
+			NationKey: int64(rng.Intn(len(nationDefs))),
+			AcctBal:   float64(rng.Intn(1000000)) / 100,
+		})
+	}
+	nCust := scaled(baseCustomers, cfg.SF)
+	for i := 0; i < nCust; i++ {
+		ds.Customers = append(ds.Customers, Customer{
+			CustKey:    int64(i + 1),
+			Name:       fmt.Sprintf("Customer#%09d", i+1),
+			NationKey:  int64(rng.Intn(len(nationDefs))),
+			AcctBal:    float64(rng.Intn(1000000)) / 100,
+			MktSegment: MktSegments[rng.Intn(len(MktSegments))],
+		})
+	}
+	nPart := scaled(baseParts, cfg.SF)
+	for i := 0; i < nPart; i++ {
+		// Deterministic price spread over [900, 2100), mimicking the
+		// TPC-H retail-price formula's shape.
+		key := int64(i + 1)
+		ds.Parts = append(ds.Parts, Part{
+			PartKey:     key,
+			Name:        fmt.Sprintf("Part#%09d", key),
+			RetailPrice: 900 + float64((key*9973)%120000)/100,
+		})
+	}
+
+	for _, p := range ds.Parts {
+		// Each part is stocked by suppliersPerPart distinct suppliers,
+		// assigned with the TPC-H stride formula.
+		for j := 0; j < suppliersPerPart && j < nSupp; j++ {
+			sk := (p.PartKey+int64(j*(nSupp/suppliersPerPart+1)))%int64(nSupp) + 1
+			ds.PartSupps = append(ds.PartSupps, PartSupp{
+				PartKey:    p.PartKey,
+				SuppKey:    sk,
+				AvailQty:   int64(1 + rng.Intn(9999)),
+				SupplyCost: float64(100+rng.Intn(99900)) / 100,
+			})
+		}
+	}
+
+	nOrders := nCust * ordersPerCust
+	orderKey := int64(0)
+	for i := 0; i < nOrders; i++ {
+		orderKey += int64(1 + rng.Intn(4)) // sparse order keys, as in TPC-H
+		o := Order{
+			OrderKey:  orderKey,
+			CustKey:   ds.Customers[rng.Intn(nCust)].CustKey,
+			OrderDate: rng.Intn(DateDays),
+		}
+		nLines := 1 + rng.Intn(maxLinesPerOrder)
+		for ln := 1; ln <= nLines; ln++ {
+			li := Lineitem{
+				OrderKey:      o.OrderKey,
+				LineNumber:    int64(ln),
+				PartKey:       ds.Parts[rng.Intn(nPart)].PartKey,
+				SuppKey:       ds.Suppliers[rng.Intn(nSupp)].SuppKey,
+				Quantity:      int64(1 + rng.Intn(50)),
+				ExtendedPrice: float64(rng.Intn(10000000)) / 100,
+			}
+			o.TotalPrice += li.ExtendedPrice
+			ds.Lineitems = append(ds.Lineitems, li)
+		}
+		ds.Orders = append(ds.Orders, o)
+	}
+	return ds
+}
+
+// NationsOfRegion returns the nation keys belonging to the named region.
+func (ds *Dataset) NationsOfRegion(name string) map[int64]bool {
+	var rk int64 = -1
+	for _, r := range ds.Regions {
+		if r.Name == name {
+			rk = r.RegionKey
+		}
+	}
+	out := map[int64]bool{}
+	for _, n := range ds.Nations {
+		if n.RegionKey == rk {
+			out[n.NationKey] = true
+		}
+	}
+	return out
+}
