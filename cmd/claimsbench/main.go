@@ -30,6 +30,7 @@ func main() {
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		datalake = flag.Bool("datalake", false, "also run the full-scan data-lake arm the paper's footnote omits")
+		trace    = flag.Bool("trace", false, "print the per-stage execution trace of each ReDe run")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -70,6 +71,9 @@ func main() {
 		norm := float64(rd.RecordAccesses) / float64(wh.RecordAccesses)
 		fmt.Printf("%-4s %-10d %-14d %16d %16d %12.2f %12.3f\n",
 			q.Name, rd.Claims, rd.Expense, wh.RecordAccesses, rd.RecordAccesses, 1.0, norm)
+		if *trace {
+			fmt.Printf("\n# %s ReDe execution trace\n%s\n", q.Name, rd.Trace.Table())
+		}
 		if *datalake {
 			dl, err := claims.RunDataLake(ctx, lakeCluster, q, 16)
 			if err != nil {

@@ -46,6 +46,8 @@ func main() {
 		selsArg = flag.String("sels", "0.0001,0.001,0.01,0.05,0.1,0.3,1.0", "comma-separated selectivities")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		free    = flag.Bool("free", false, "disable the I/O cost model (functional check only)")
+		trace   = flag.Bool("trace", false, "print the per-stage execution trace of each SMPE run")
+		slow    = flag.Duration("slow", 0, "flag tasks slower than this in the trace (0 = off)")
 	)
 	flag.Parse()
 
@@ -103,7 +105,12 @@ func main() {
 			log.Fatal(err)
 		}
 
-		smpe, err := core.Execute(ctx, job, cluster, cluster, core.Options{Threads: *threads, InlineReferencers: true})
+		smpe, err := core.Execute(ctx, job, cluster, cluster, core.Options{
+			Threads:           *threads,
+			InlineReferencers: true,
+			SlowTaskThreshold: *slow,
+			TraceLog:          log.Printf,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -118,6 +125,9 @@ func main() {
 			plain.Elapsed.Round(time.Microsecond),
 			smpe.Elapsed.Round(time.Microsecond),
 			float64(tImpala)/float64(smpe.Elapsed))
+		if *trace {
+			fmt.Printf("\n# sel=%g SMPE execution trace\n%s\n", sel, smpe.Trace.Table())
+		}
 	}
 }
 

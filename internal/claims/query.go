@@ -12,6 +12,7 @@ import (
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/keycodec"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/trace"
 )
 
 // Query is one of the case study's analytical questions: total medical
@@ -46,6 +47,9 @@ type Result struct {
 	RecordAccesses int64
 	// Elapsed is wall-clock execution time.
 	Elapsed time.Duration
+	// Trace is the execution trace of the underlying job (nil for the
+	// scan-based data-lake arm, which does not run through the executor).
+	Trace *trace.Snapshot
 }
 
 // RunReDe answers q the LakeHarbor way: probe the post hoc disease index,
@@ -105,6 +109,7 @@ func RunReDe(ctx context.Context, cluster *dfs.Cluster, q Query, opts core.Optio
 		Expense:        expense,
 		RecordAccesses: diff.RecordAccesses(),
 		Elapsed:        res.Elapsed,
+		Trace:          res.Trace,
 	}, nil
 }
 
@@ -178,6 +183,7 @@ func RunWarehouse(ctx context.Context, cluster *dfs.Cluster, q Query, opts core.
 		Expense:        expense,
 		RecordAccesses: diff.RecordAccesses(),
 		Elapsed:        res.Elapsed,
+		Trace:          res.Trace,
 	}, nil
 }
 

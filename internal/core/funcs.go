@@ -43,7 +43,7 @@ func (d RangeDeref) Deref(tc *TaskCtx, ptr lake.Pointer) ([]lake.Record, error) 
 	}
 	bf, ok := f.(lake.BtreeFile)
 	if !ok {
-		return nil, fmt.Errorf("core: %s: file is not a BtreeFile", d.Name())
+		return nil, lake.AsPermanent(fmt.Errorf("core: %s: file is not a BtreeFile", d.Name()))
 	}
 	lo, hi := ptr.Key, ptr.EndKey
 	if hi == "" {

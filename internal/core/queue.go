@@ -2,6 +2,11 @@ package core
 
 import "sync"
 
+// queueReleaseCap is the backing-array size above which a drained queue
+// frees its storage instead of reusing it. A fan-out spike early in a job
+// would otherwise pin a spike-sized array for the whole run.
+const queueReleaseCap = 1024
+
 // taskQueue is the per-node input queue of Algorithm 1: unbounded and
 // multi-producer/multi-consumer. Unboundedness matters — workers enqueue to
 // their own node's queue while processing, so a bounded queue could
@@ -20,16 +25,19 @@ func newTaskQueue() *taskQueue {
 	return q
 }
 
-// push enqueues t. Pushing to a closed queue is a no-op (the job is done or
-// failed; stragglers are dropped).
-func (q *taskQueue) push(t task) {
+// push enqueues t, reporting whether it was accepted and the resulting
+// queue depth. Pushing to a closed queue is rejected (the job is done or
+// failed; stragglers are dropped) — callers must then roll back any
+// accounting they did for the task, or the in-flight counter leaks.
+func (q *taskQueue) push(t task) (ok bool, depth int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return
+		return false, 0
 	}
 	q.items = append(q.items, t)
 	q.cond.Signal()
+	return true, len(q.items) - q.head
 }
 
 // pop dequeues the next task, blocking while the queue is open and empty.
@@ -47,7 +55,11 @@ func (q *taskQueue) pop() (t task, ok bool) {
 	q.items[q.head] = task{} // drop the reference for GC
 	q.head++
 	if q.head == len(q.items) {
-		q.items = q.items[:0]
+		if cap(q.items) > queueReleaseCap {
+			q.items = nil // release a spike-sized backing array
+		} else {
+			q.items = q.items[:0]
+		}
 		q.head = 0
 	}
 	return t, true
@@ -59,4 +71,11 @@ func (q *taskQueue) close() {
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
+}
+
+// len reports the current queue depth (pending, unpopped tasks).
+func (q *taskQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
 }

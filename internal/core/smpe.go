@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/trace"
 )
 
 // Topology abstracts the compute/storage layout the executor runs on; dfs's
@@ -29,6 +30,8 @@ type Options struct {
 	// 1000 (§III-C); 0 selects that default. 1 disables SMPE: each node
 	// processes its queue sequentially, leaving only the partitioned
 	// parallelism of the cluster — the paper's "ReDe (w/o SMPE)" arm.
+	// Negative values are rejected (a pool that can never spawn would
+	// deadlock the job).
 	Threads int
 	// InlineReferencers, when true (the paper's default), runs Referencers
 	// on the worker that produced their input record instead of
@@ -44,20 +47,31 @@ type Options struct {
 	// MaxRetries re-executes a failed Dereferencer invocation up to this
 	// many additional times before failing the job — transient storage
 	// faults (a flaky disk, a brief partition) then never surface.
-	// Referencers are pure CPU and are not retried.
+	// Permanent errors (see Permanent) are never retried: an unknown file
+	// or a bad pointer repeats identically on every attempt. Referencers
+	// are pure CPU and are not retried.
 	MaxRetries int
 	// RetryBackoff is slept between retries (0 = immediate).
 	RetryBackoff time.Duration
+	// SlowTaskThreshold flags tasks slower than this in the execution
+	// trace (per-stage SlowTasks counts); 0 disables flagging.
+	SlowTaskThreshold time.Duration
+	// TraceLog, if non-nil, receives one log line per slow task. It must
+	// be safe for concurrent use (log.Printf is).
+	TraceLog func(format string, args ...any)
 }
 
 // DefaultThreads is the paper's default per-node thread-pool size.
 const DefaultThreads = 1000
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	if o.Threads < 0 {
+		return o, fmt.Errorf("Options.Threads must be >= 0, got %d", o.Threads)
+	}
 	if o.Threads == 0 {
 		o.Threads = DefaultThreads
 	}
-	return o
+	return o, nil
 }
 
 // Result reports a job execution.
@@ -75,6 +89,10 @@ type Result struct {
 	// Dereferencer stages, pointers for Referencer stages (counted even
 	// when referencers run inline).
 	StageEmits []int64
+	// Trace is the job's execution trace: per-stage spans (tasks, emits,
+	// retries, errors, busy/wall time), per-node queue high-water marks,
+	// workers spawned, and local/remote I/O attribution.
+	Trace *trace.Snapshot
 }
 
 // task is one unit of work in a node's input queue: a pointer destined for
@@ -87,6 +105,25 @@ type task struct {
 	rec   lake.Record
 }
 
+// Permanent reports whether err can never heal by retrying: a catalog miss,
+// a bad partition index, a file of the wrong kind, or anything the storage
+// layers marked with lake.AsPermanent. derefWithRetry consults it to fail
+// fast instead of re-executing a doomed invocation MaxRetries times.
+func Permanent(err error) bool { return lake.IsPermanent(err) }
+
+// traceInfo derives the trace's stage descriptors from the job.
+func traceInfo(job *Job) []trace.StageInfo {
+	infos := make([]trace.StageInfo, len(job.Stages))
+	for i, s := range job.Stages {
+		kind := "ref"
+		if s.Deref != nil {
+			kind = "deref"
+		}
+		infos[i] = trace.StageInfo{Name: s.name(), Kind: kind}
+	}
+	return infos
+}
+
 // Execute runs the job with scalable massively parallel execution
 // (Algorithm 1): the job is distributed to every node, each node
 // dynamically decomposes its share into fine-grained tasks, and a per-node
@@ -95,7 +132,17 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("core: job %q: %w", job.Name, err)
+	}
+	// Resolve every seed's file before any task is enqueued: a typo'd file
+	// name must fail the job up front, not silently mis-route the seed.
+	for _, seed := range job.Seeds {
+		if _, err := catalog.File(seed.File); err != nil {
+			return nil, fmt.Errorf("core: job %q: unknown file %q in seed: %w", job.Name, seed.File, err)
+		}
+	}
 	start := time.Now()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -108,6 +155,10 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 		opts:    opts,
 		cancel:  cancel,
 		done:    make(chan struct{}),
+		tr:      trace.New(job.Name, traceInfo(job), topo.NumNodes()),
+	}
+	if opts.SlowTaskThreshold > 0 {
+		e.tr.SetSlowTask(opts.SlowTaskThreshold, opts.TraceLog)
 	}
 	n := topo.NumNodes()
 	e.queues = make([]*taskQueue, n)
@@ -116,8 +167,6 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 	for i := range e.queues {
 		e.queues[i] = newTaskQueue()
 	}
-	e.stageTasks = make([]atomic.Int64, len(job.Stages))
-	e.stageEmits = make([]atomic.Int64, len(job.Stages))
 
 	// Register the per-node pools ("distributing the data processing job
 	// to all the computing nodes"). Workers are spawned on demand up to
@@ -127,7 +176,7 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 	var wg sync.WaitGroup
 	for node := 0; node < n; node++ {
 		tc := &TaskCtx{
-			Ctx:     topo.Bind(ctx, node),
+			Ctx:     trace.WithIO(topo.Bind(ctx, node), e.tr.NodeIO(node)),
 			Node:    node,
 			Nodes:   n,
 			Catalog: catalog,
@@ -158,14 +207,16 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 		return nil, fmt.Errorf("core: job %q: %w", job.Name, err)
 	}
 
+	snap := e.tr.Snapshot(nil)
 	res := &Result{
 		Elapsed:    time.Since(start),
 		StageTasks: make([]int64, len(job.Stages)),
 		StageEmits: make([]int64, len(job.Stages)),
+		Trace:      snap,
 	}
-	for i := range e.stageTasks {
-		res.StageTasks[i] = e.stageTasks[i].Load()
-		res.StageEmits[i] = e.stageEmits[i].Load()
+	for i, st := range snap.Stages {
+		res.StageTasks[i] = st.Tasks
+		res.StageEmits[i] = st.Emits
 	}
 	for i := range e.results {
 		res.Count += e.results[i].count
@@ -183,13 +234,12 @@ type executor struct {
 	topo    Topology
 	opts    Options
 	cancel  context.CancelFunc
+	tr      *trace.Trace
 
-	queues     []*taskQueue
-	pools      []*nodePool
-	inflight   atomic.Int64
-	stageTasks []atomic.Int64
-	stageEmits []atomic.Int64
-	results    []nodeResult
+	queues   []*taskQueue
+	pools    []*nodePool
+	inflight atomic.Int64
+	results  []nodeResult
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -224,6 +274,7 @@ func (p *nodePool) maybeSpawn() {
 		if !p.spawned.CompareAndSwap(n, n+1) {
 			continue // raced with another spawner; re-check
 		}
+		p.e.tr.WorkerSpawned(p.node)
 		p.wg.Add(1)
 		go p.worker()
 		return
@@ -281,27 +332,41 @@ func (e *executor) enqueuePointer(fromNode, stage int, ptr lake.Pointer, isSeed 
 		// BROADCAST: enqueue to every node's queue; each node will
 		// treat it as addressing its local partitions.
 		for node := range e.queues {
-			e.inflight.Add(1)
-			e.queues[node].push(task{stage: stage, ptr: ptr})
-			e.pools[node].maybeSpawn()
+			e.enqueue(node, task{stage: stage, ptr: ptr})
 		}
 		return
 	}
 	node := fromNode
 	if isSeed {
-		if f, err := e.catalog.File(ptr.File); err == nil {
-			part, _ := lake.ResolvePartition(f, ptr)
-			node = e.topo.OwnerNode(part)
+		f, err := e.catalog.File(ptr.File)
+		if err != nil {
+			// Seeds are pre-validated in Execute; a miss here means the
+			// file was dropped mid-flight. Fail loudly, never mis-route.
+			e.fail(fmt.Errorf("unknown file %q in seed: %w", ptr.File, err))
+			return
 		}
+		part, _ := lake.ResolvePartition(f, ptr)
+		node = e.topo.OwnerNode(part)
 	}
-	e.inflight.Add(1)
-	e.queues[node].push(task{stage: stage, ptr: ptr})
-	e.pools[node].maybeSpawn()
+	e.enqueue(node, task{stage: stage, ptr: ptr})
 }
 
 func (e *executor) enqueueRecord(node, stage int, rec lake.Record) {
+	e.enqueue(node, task{stage: stage, isRec: true, rec: rec})
+}
+
+// enqueue pushes one task onto a node's queue with balanced in-flight
+// accounting: the counter is raised before the push (a worker may pop and
+// finish the task before push even returns), and rolled back if the queue
+// rejected the task because the job already completed or failed.
+func (e *executor) enqueue(node int, t task) {
 	e.inflight.Add(1)
-	e.queues[node].push(task{stage: stage, isRec: true, rec: rec})
+	ok, depth := e.queues[node].push(t)
+	if !ok {
+		e.finish() // dropped on a closed queue; roll the counter back
+		return
+	}
+	e.tr.Enqueue(node, depth)
 	e.pools[node].maybeSpawn()
 }
 
@@ -321,27 +386,30 @@ func (e *executor) process(tc *TaskCtx, t task) {
 	if tc.Ctx.Err() != nil {
 		return // job already failed or cancelled; drain cheaply
 	}
-	e.stageTasks[t.stage].Add(1)
+	begin := e.tr.TaskBegin(t.stage)
+	defer e.tr.TaskEnd(t.stage, begin)
 	stage := e.job.Stages[t.stage]
 	if t.isRec {
 		ptrs, err := stage.Ref.Ref(tc, t.rec)
 		if err != nil {
+			e.tr.AddError(t.stage)
 			e.fail(err)
 			return
 		}
-		e.stageEmits[t.stage].Add(int64(len(ptrs)))
+		e.tr.AddEmits(t.stage, len(ptrs))
 		for _, p := range ptrs {
 			e.enqueuePointer(tc.Node, t.stage+1, p, false)
 		}
 		return
 	}
 
-	recs, err := e.derefWithRetry(tc, stage.Deref, t.ptr)
+	recs, err := e.derefWithRetry(tc, t.stage, stage.Deref, t.ptr)
 	if err != nil {
+		e.tr.AddError(t.stage)
 		e.fail(err)
 		return
 	}
-	e.stageEmits[t.stage].Add(int64(len(recs)))
+	e.tr.AddEmits(t.stage, len(recs))
 	last := t.stage == len(e.job.Stages)-1
 	if last {
 		e.collect(tc.Node, recs)
@@ -360,10 +428,11 @@ func (e *executor) process(tc *TaskCtx, t task) {
 	for _, r := range recs {
 		ptrs, err := ref.Ref(tc, r)
 		if err != nil {
+			e.tr.AddError(next)
 			e.fail(err)
 			return
 		}
-		e.stageEmits[next].Add(int64(len(ptrs)))
+		e.tr.AddEmits(next, len(ptrs))
 		for _, p := range ptrs {
 			e.enqueuePointer(tc.Node, next+1, p, false)
 		}
@@ -371,11 +440,14 @@ func (e *executor) process(tc *TaskCtx, t task) {
 }
 
 // derefWithRetry runs a Dereferencer, retrying per Options.MaxRetries.
-// Context cancellation is never retried: a dying job must die promptly.
-func (e *executor) derefWithRetry(tc *TaskCtx, d Dereferencer, ptr lake.Pointer) ([]lake.Record, error) {
+// Context cancellation is never retried (a dying job must die promptly),
+// and neither are permanent errors (see Permanent): an unknown file or a
+// bad pointer fails identically on every attempt, so backoff only delays
+// the inevitable.
+func (e *executor) derefWithRetry(tc *TaskCtx, stage int, d Dereferencer, ptr lake.Pointer) ([]lake.Record, error) {
 	recs, err := d.Deref(tc, ptr)
 	for attempt := 0; err != nil && attempt < e.opts.MaxRetries; attempt++ {
-		if tc.Ctx.Err() != nil {
+		if Permanent(err) || tc.Ctx.Err() != nil {
 			return nil, err
 		}
 		if e.opts.RetryBackoff > 0 {
@@ -387,6 +459,7 @@ func (e *executor) derefWithRetry(tc *TaskCtx, d Dereferencer, ptr lake.Pointer)
 				return nil, err
 			}
 		}
+		e.tr.AddRetry(stage)
 		recs, err = d.Deref(tc, ptr)
 	}
 	return recs, err

@@ -23,6 +23,7 @@ import (
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/metrics"
 	"lakeharbor/internal/sim"
+	"lakeharbor/internal/trace"
 )
 
 // Kind selects the access paths a file supports.
@@ -174,7 +175,7 @@ func (c *Cluster) BtreeFile(name string) (lake.BtreeFile, error) {
 	}
 	bf, ok := f.(lake.BtreeFile)
 	if !ok || f.(*file).kind != Btree {
-		return nil, fmt.Errorf("dfs: file %q is not a btree file", name)
+		return nil, lake.AsPermanent(fmt.Errorf("dfs: file %q is not a btree file", name))
 	}
 	return bf, nil
 }
@@ -318,12 +319,17 @@ func (f *file) part(i int) (*partition, *node, error) {
 
 // admit charges the owner node for one access and updates remote-fetch
 // accounting. kindScan selects scan vs lookup pricing; n is the record count
-// for scans.
+// for scans. When the caller's context carries an execution trace (queries
+// run through the SMPE executor), the access is also attributed to the
+// calling node's trace as local or remote I/O.
 func (f *file) admit(ctx context.Context, owner *node, scan bool, n int) error {
 	remote := false
 	if caller := CallerNode(ctx); caller >= 0 && caller != owner.id {
 		remote = true
 		owner.counters.AddRemoteFetch()
+	}
+	if io := trace.IOFrom(ctx); io != nil {
+		io.Observe(remote)
 	}
 	if scan {
 		return owner.gate.Scan(ctx, n, remote)
@@ -365,7 +371,7 @@ func (f *file) Lookup(ctx context.Context, partitionIdx int, key lake.Key) ([]la
 // lo <= key <= hi in the partition, in key order.
 func (f *file) LookupRange(ctx context.Context, partitionIdx int, lo, hi lake.Key) ([]lake.Record, error) {
 	if f.kind != Btree {
-		return nil, fmt.Errorf("dfs: file %q is not a btree file", f.name)
+		return nil, lake.AsPermanent(fmt.Errorf("dfs: file %q is not a btree file", f.name))
 	}
 	p, owner, err := f.part(partitionIdx)
 	if err != nil {

@@ -24,23 +24,33 @@ import (
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/keycodec"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/trace"
 )
 
 // Server serves the API over one cluster.
 type Server struct {
 	cluster *dfs.Cluster
 	mux     *http.ServeMux
+	traces  *trace.Registry
 }
 
 // New builds a Server for the cluster.
 func New(cluster *dfs.Cluster) *Server {
-	s := &Server{cluster: cluster, mux: http.NewServeMux()}
+	s := &Server{
+		cluster: cluster,
+		mux:     http.NewServeMux(),
+		traces:  trace.NewRegistry(0),
+	}
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/files/{name}", s.handleFile)
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
 	s.mux.HandleFunc("GET /v1/range", s.handleRange)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/jobs/range", s.handleJobRange)
+	s.mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
+	s.mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
+	s.mux.HandleFunc("GET /debug/metrics", s.handleDebugMetrics)
 	return s
 }
 

@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/trace"
+)
+
+// This file adds job execution and execution-trace observability to the
+// HTTP API:
+//
+//	GET /v1/jobs/range    run a key-range job through the SMPE executor
+//	GET /debug/jobs       recent execution traces, newest first (JSON)
+//	GET /debug/jobs/{id}  one execution trace by id
+//	GET /debug/metrics    Prometheus-style text metrics (jobs + storage)
+//
+// Every job executed through the server records its trace in the server's
+// registry, so /debug/jobs shows the same per-stage spans, queue high-water
+// marks, worker gauges, and local/remote I/O split that Result.Trace (and
+// the bench commands' -trace flag) expose.
+
+// maxJobLimit caps the records a range job returns over the wire.
+const maxJobLimit = 10000
+
+// JobResultJSON is the wire form of an executed job.
+type JobResultJSON struct {
+	// Count is the number of records the job's final stage emitted.
+	Count int64 `json:"count"`
+	// TraceID is the trace's id in /debug/jobs.
+	TraceID int64 `json:"traceId"`
+	// Records holds up to `limit` result records.
+	Records []RecordJSON `json:"records"`
+}
+
+// handleJobRange runs a key-range dereference over a B-tree file as a real
+// executor job (seed routing, per-node queues, worker pools), rather than
+// the sequential partition loop of /v1/range. Parameters: file, lo, hi
+// (typed key specs), limit (result cap, default 100), threads (pool size,
+// default the paper's 1000).
+func (s *Server) handleJobRange(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("file")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("httpapi: missing file parameter"))
+		return
+	}
+	lo, err := ParseKeys(q["lo"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("lo: %w", err))
+		return
+	}
+	hi, err := ParseKeys(q["hi"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("hi: %w", err))
+		return
+	}
+	limit := 100
+	if l := q.Get("limit"); l != "" {
+		limit, err = strconv.Atoi(l)
+		if err != nil || limit <= 0 || limit > maxJobLimit {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad limit %q", l))
+			return
+		}
+	}
+	threads := 0 // Execute's default
+	if t := q.Get("threads"); t != "" {
+		threads, err = strconv.Atoi(t)
+		if err != nil || threads < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad threads %q", t))
+			return
+		}
+	}
+
+	seeds, err := core.SeedRange(s.cluster, name, lo, hi)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	job, err := core.NewJob("range:"+name, seeds, core.RangeDeref{File: name})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := core.Execute(r.Context(), job, s.cluster, s.cluster, core.Options{
+		Threads:     threads,
+		KeepRecords: true,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.traces.Add(res.Trace)
+
+	out := JobResultJSON{Count: res.Count, TraceID: res.Trace.ID}
+	recs := res.Records
+	if len(recs) > limit {
+		recs = recs[:limit]
+	}
+	out.Records = make([]RecordJSON, len(recs))
+	for i, rec := range recs {
+		out.Records[i] = toRecordJSON(rec)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.Recent())
+}
+
+func (s *Server) handleDebugJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad trace id %q", r.PathValue("id")))
+		return
+	}
+	snap := s.traces.Get(id)
+	if snap == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("httpapi: no trace %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleDebugMetrics serves Prometheus-style text metrics: cumulative job
+// execution counters from the trace registry plus the cluster's storage
+// access counters.
+func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.traces.WriteMetrics(w)
+	m := s.cluster.TotalMetrics()
+	storage := []struct {
+		name, help string
+		v          int64
+	}{
+		{"lakeharbor_storage_lookups_total", "Random lookups served by the cluster.", m.Lookups},
+		{"lakeharbor_storage_records_read_total", "Records returned by lookups.", m.RecordsRead},
+		{"lakeharbor_storage_records_scanned_total", "Records visited by scans.", m.RecordsScanned},
+		{"lakeharbor_storage_remote_fetches_total", "Cross-node accesses.", m.RemoteFetches},
+		{"lakeharbor_storage_bytes_read_total", "Payload bytes delivered.", m.BytesRead},
+		{"lakeharbor_storage_appends_total", "Records appended.", m.Appends},
+	}
+	for _, c := range storage {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+}
+
+// RecordTrace lets callers that execute jobs against the same cluster
+// outside the HTTP surface (embedding servers, tools) publish their traces
+// to this server's /debug/jobs.
+func (s *Server) RecordTrace(snap *JobTrace) {
+	if snap != nil {
+		s.traces.Add(snap)
+	}
+}
+
+// JobTrace is the execution-trace snapshot type served by /debug/jobs.
+type JobTrace = trace.Snapshot

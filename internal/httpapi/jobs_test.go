@@ -1,0 +1,127 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestJobRange(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var res JobResultJSON
+	url := srv.URL + "/v1/jobs/range?file=events&lo=int:10&hi=int:19"
+	if code := getJSON(t, url, &res); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if res.Count != 10 || len(res.Records) != 10 {
+		t.Fatalf("job result = count %d, %d records", res.Count, len(res.Records))
+	}
+	if res.TraceID == 0 {
+		t.Error("job did not record a trace")
+	}
+
+	// The limit caps the wire records, not the count.
+	if code := getJSON(t, srv.URL+"/v1/jobs/range?file=events&lo=int:0&hi=int:49&limit=5", &res); code != 200 {
+		t.Fatal("limited job failed")
+	}
+	if res.Count != 50 || len(res.Records) != 5 {
+		t.Fatalf("limited job = count %d, %d records", res.Count, len(res.Records))
+	}
+
+	// Error paths.
+	if code := getJSON(t, srv.URL+"/v1/jobs/range?file=ghost&lo=int:0&hi=int:1", nil); code != 404 {
+		t.Errorf("ghost file status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/range?file=events&lo=bogus&hi=int:1", nil); code != 400 {
+		t.Errorf("bad lo status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/range?file=events&lo=int:0&hi=int:1&threads=-1", nil); code != 400 {
+		t.Errorf("negative threads status = %d", code)
+	}
+}
+
+func TestDebugJobs(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// No jobs yet.
+	var traces []*JobTrace
+	if code := getJSON(t, srv.URL+"/debug/jobs", &traces); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(traces) != 0 {
+		t.Fatalf("fresh server has %d traces", len(traces))
+	}
+
+	// Run two jobs, then read their traces back.
+	for i := 0; i < 2; i++ {
+		if code := getJSON(t, srv.URL+"/v1/jobs/range?file=events&lo=int:0&hi=int:9", nil); code != 200 {
+			t.Fatalf("job %d failed: %d", i, code)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/debug/jobs", &traces); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("debug/jobs has %d traces, want 2", len(traces))
+	}
+	top := traces[0]
+	if top.Job != "range:events" || len(top.Stages) != 1 || top.Stages[0].Tasks == 0 {
+		t.Errorf("trace = %+v", top)
+	}
+	if len(top.Nodes) != 2 {
+		t.Errorf("trace has %d nodes, want 2", len(top.Nodes))
+	}
+	var totalIO int64
+	for _, n := range top.Nodes {
+		totalIO += n.LocalIO + n.RemoteIO
+	}
+	if totalIO == 0 {
+		t.Error("trace attributed no storage I/O")
+	}
+
+	// Fetch one by id.
+	var one JobTrace
+	if code := getJSON(t, srv.URL+"/debug/jobs/1", &one); code != 200 {
+		t.Fatalf("by-id status %d", code)
+	}
+	if one.ID != 1 {
+		t.Errorf("by-id trace id = %d", one.ID)
+	}
+	if code := getJSON(t, srv.URL+"/debug/jobs/999", nil); code != 404 {
+		t.Errorf("missing id status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/debug/jobs/xyz", nil); code != 400 {
+		t.Errorf("bad id status = %d", code)
+	}
+}
+
+func TestDebugMetrics(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if code := getJSON(t, srv.URL+"/v1/jobs/range?file=events&lo=int:0&hi=int:9", nil); code != 200 {
+		t.Fatal("job failed")
+	}
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"lakeharbor_jobs_total 1",
+		"lakeharbor_tasks_total",
+		"# TYPE lakeharbor_jobs_total counter",
+		"lakeharbor_storage_lookups_total",
+		"lakeharbor_storage_appends_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

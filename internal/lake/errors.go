@@ -1,0 +1,48 @@
+package lake
+
+import "errors"
+
+// Permanent-error classification.
+//
+// The executor retries failed Dereferencer invocations (transient storage
+// faults heal on re-execution), but some failures can never heal: a file
+// that is not in the catalog, a partition index out of range, a pointer at a
+// file of the wrong kind. Error constructors in the storage layers mark
+// those with AsPermanent, and the executor consults IsPermanent (re-exported
+// as core.Permanent) to fail fast instead of burning MaxRetries × backoff on
+// an error that will repeat forever.
+
+// permanentError marks a wrapped error as not retryable. It satisfies
+// errors.Is/As chains through Unwrap.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks the error as non-retryable; IsPermanent detects it
+// anywhere in a wrap chain.
+func (e *permanentError) Permanent() bool { return true }
+
+// AsPermanent marks err as permanent: retrying the failed operation cannot
+// succeed. A nil err stays nil.
+func AsPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err is a permanent failure: a catalog miss, a
+// bad partition index, or any error marked with AsPermanent anywhere in its
+// wrap chain.
+func IsPermanent(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrNoSuchFile) || errors.Is(err, ErrNoSuchPartition) {
+		return true
+	}
+	var p interface{ Permanent() bool }
+	return errors.As(err, &p) && p.Permanent()
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Registry retains the snapshots of recent jobs in a fixed-size ring and
+// accumulates cumulative totals across every job it has ever seen, so the
+// metrics endpoint exposes monotone counters even after old snapshots are
+// evicted from the ring.
+type Registry struct {
+	mu     sync.Mutex
+	cap    int
+	recent []*Snapshot // oldest first, len <= cap
+	nextID int64
+
+	// Cumulative totals over all recorded jobs (never decremented).
+	jobs      int64
+	failed    int64
+	tasks     int64
+	emits     int64
+	retries   int64
+	errors    int64
+	slowTasks int64
+	localIO   int64
+	remoteIO  int64
+	busyNanos int64
+	wallNanos int64
+}
+
+// DefaultRegistryCap is how many recent job snapshots a Registry keeps.
+const DefaultRegistryCap = 64
+
+// NewRegistry creates a Registry retaining up to capacity snapshots
+// (DefaultRegistryCap when capacity <= 0).
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultRegistryCap
+	}
+	return &Registry{cap: capacity}
+}
+
+// Add records a finished job's snapshot, assigns it an ID, and folds it
+// into the cumulative totals.
+func (r *Registry) Add(s *Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	s.ID = r.nextID
+	if len(r.recent) == r.cap {
+		copy(r.recent, r.recent[1:])
+		r.recent[len(r.recent)-1] = s
+	} else {
+		r.recent = append(r.recent, s)
+	}
+	r.jobs++
+	if s.Err != "" {
+		r.failed++
+	}
+	r.wallNanos += int64(s.Elapsed)
+	for _, st := range s.Stages {
+		r.tasks += st.Tasks
+		r.emits += st.Emits
+		r.retries += st.Retries
+		r.errors += st.Errors
+		r.slowTasks += st.SlowTasks
+		r.busyNanos += int64(st.Busy)
+	}
+	for _, n := range s.Nodes {
+		r.localIO += n.LocalIO
+		r.remoteIO += n.RemoteIO
+	}
+}
+
+// Recent returns the retained snapshots, newest first.
+func (r *Registry) Recent() []*Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Snapshot, len(r.recent))
+	for i, s := range r.recent {
+		out[len(out)-1-i] = s
+	}
+	return out
+}
+
+// Get returns the retained snapshot with the given ID, or nil.
+func (r *Registry) Get(id int64) *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.recent {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// WriteMetrics renders the cumulative totals as Prometheus-style text
+// exposition (counters only; all monotone).
+func (r *Registry) WriteMetrics(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	metric := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	metric("lakeharbor_jobs_total", "Jobs executed.", r.jobs)
+	metric("lakeharbor_jobs_failed_total", "Jobs that finished with an error.", r.failed)
+	metric("lakeharbor_tasks_total", "Executor pool tasks run.", r.tasks)
+	metric("lakeharbor_emits_total", "Stage outputs produced (records and pointers).", r.emits)
+	metric("lakeharbor_retries_total", "Dereferencer retries after transient failures.", r.retries)
+	metric("lakeharbor_task_errors_total", "Failed stage invocations.", r.errors)
+	metric("lakeharbor_slow_tasks_total", "Tasks exceeding the slow-task threshold.", r.slowTasks)
+	metric("lakeharbor_local_io_total", "Storage accesses served by the issuing node.", r.localIO)
+	metric("lakeharbor_remote_io_total", "Cross-node storage fetches.", r.remoteIO)
+	fmt.Fprintf(w, "# HELP lakeharbor_busy_seconds_total Summed task execution time.\n"+
+		"# TYPE lakeharbor_busy_seconds_total counter\nlakeharbor_busy_seconds_total %g\n",
+		time.Duration(r.busyNanos).Seconds())
+	fmt.Fprintf(w, "# HELP lakeharbor_job_seconds_total Summed job wall time.\n"+
+		"# TYPE lakeharbor_job_seconds_total counter\nlakeharbor_job_seconds_total %g\n",
+		time.Duration(r.wallNanos).Seconds())
+}

@@ -1,0 +1,342 @@
+// Package trace is the execution observability layer of the ReDe engine:
+// per-job execution traces sampled live by the SMPE executor and exported as
+// immutable snapshots when the job finishes.
+//
+// A Trace records, per stage, how many tasks ran, what they emitted, how
+// often Dereferencers were retried, how many invocations failed, and both
+// the busy time (summed task durations) and the wall span (first task start
+// to last task end). Per node it records the input-queue high-water mark,
+// how many pool workers were actually spawned, and — attributed by the
+// storage layer through the I/O context — how many accesses were served
+// locally versus fetched from a remote node.
+//
+// All live counters are atomics: the executor updates them from thousands
+// of concurrent workers without locks, and a Snapshot can be taken at any
+// moment, including while the job is still running. A Registry keeps the
+// snapshots of recent jobs for operator endpoints (see internal/httpapi's
+// /debug/jobs) and aggregates them into Prometheus-style text metrics.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// StageInfo names one stage of the traced job.
+type StageInfo struct {
+	// Name is the stage's function name (e.g. "RangeDeref(orders)").
+	Name string
+	// Kind is "deref" or "ref".
+	Kind string
+}
+
+// Trace collects live execution telemetry for one job. Create it with New;
+// all methods are safe for concurrent use. The zero value is not usable.
+type Trace struct {
+	job   string
+	start time.Time
+
+	// slow is the slow-task threshold; tasks slower than this are counted
+	// per stage and reported through logf when it is non-nil.
+	slow time.Duration
+	logf func(format string, args ...any)
+
+	stages []stageStats
+	nodes  []nodeStats
+}
+
+// stageStats is the live counter set of one stage.
+type stageStats struct {
+	info      StageInfo
+	tasks     atomic.Int64
+	emits     atomic.Int64
+	retries   atomic.Int64
+	errors    atomic.Int64
+	slowTasks atomic.Int64
+	busyNanos atomic.Int64
+	// firstStart and lastEnd are unix nanos; 0 means "no task yet".
+	firstStart atomic.Int64
+	lastEnd    atomic.Int64
+}
+
+// nodeStats is the live counter set of one compute node.
+type nodeStats struct {
+	queueHighWater atomic.Int64
+	workersSpawned atomic.Int64
+	io             NodeIO
+}
+
+// NodeIO counts the storage accesses one compute node issued, split into
+// local (caller owns the partition) and remote (cross-node fetch). The
+// storage layer reports into it through the I/O context (WithIO / IOFrom),
+// which keeps dfs free of any dependency on the executor.
+type NodeIO struct {
+	local  atomic.Int64
+	remote atomic.Int64
+}
+
+// Observe records one storage access.
+func (n *NodeIO) Observe(remote bool) {
+	if remote {
+		n.remote.Add(1)
+	} else {
+		n.local.Add(1)
+	}
+}
+
+// ioKey carries a *NodeIO through a context.
+type ioKey struct{}
+
+// WithIO attaches io to ctx so the storage layer can attribute accesses to
+// the issuing node's trace.
+func WithIO(ctx context.Context, io *NodeIO) context.Context {
+	return context.WithValue(ctx, ioKey{}, io)
+}
+
+// IOFrom returns the NodeIO attached to ctx, or nil when the caller is not
+// traced (loaders, tools, baseline engines).
+func IOFrom(ctx context.Context) *NodeIO {
+	io, _ := ctx.Value(ioKey{}).(*NodeIO)
+	return io
+}
+
+// New starts a trace for one job over the given stages and cluster size.
+func New(job string, stages []StageInfo, nodes int) *Trace {
+	t := &Trace{
+		job:    job,
+		start:  time.Now(),
+		stages: make([]stageStats, len(stages)),
+		nodes:  make([]nodeStats, nodes),
+	}
+	for i := range t.stages {
+		t.stages[i].info = stages[i]
+	}
+	return t
+}
+
+// SetSlowTask configures the slow-task threshold. Tasks slower than d are
+// counted per stage; when logf is non-nil each one is also logged with its
+// stage and duration. A zero d disables slow-task tracking.
+func (t *Trace) SetSlowTask(d time.Duration, logf func(format string, args ...any)) {
+	t.slow = d
+	t.logf = logf
+}
+
+// TaskBegin marks one task entering execution on the given stage and
+// returns its start time for the matching TaskEnd.
+func (t *Trace) TaskBegin(stage int) time.Time {
+	now := time.Now()
+	s := &t.stages[stage]
+	s.tasks.Add(1)
+	s.firstStart.CompareAndSwap(0, now.UnixNano())
+	return now
+}
+
+// TaskEnd marks the task started at begin as finished, accumulating its
+// duration and flagging it when it exceeds the slow-task threshold.
+func (t *Trace) TaskEnd(stage int, begin time.Time) {
+	now := time.Now()
+	dur := now.Sub(begin)
+	s := &t.stages[stage]
+	s.busyNanos.Add(int64(dur))
+	storeMax(&s.lastEnd, now.UnixNano())
+	if t.slow > 0 && dur > t.slow {
+		s.slowTasks.Add(1)
+		if t.logf != nil {
+			t.logf("trace: job %q stage %d (%s): slow task: %v > %v",
+				t.job, stage, s.info.Name, dur, t.slow)
+		}
+	}
+}
+
+// AddEmits records n outputs produced by the stage.
+func (t *Trace) AddEmits(stage, n int) { t.stages[stage].emits.Add(int64(n)) }
+
+// AddRetry records one Dereferencer retry on the stage.
+func (t *Trace) AddRetry(stage int) { t.stages[stage].retries.Add(1) }
+
+// AddError records one failed invocation on the stage.
+func (t *Trace) AddError(stage int) { t.stages[stage].errors.Add(1) }
+
+// Enqueue records a task landing on a node's queue at the given depth,
+// maintaining the queue-depth high-water mark.
+func (t *Trace) Enqueue(node, depth int) {
+	storeMax(&t.nodes[node].queueHighWater, int64(depth))
+}
+
+// WorkerSpawned records one pool worker actually started on the node.
+func (t *Trace) WorkerSpawned(node int) { t.nodes[node].workersSpawned.Add(1) }
+
+// NodeIO returns the node's I/O attribution counters, for attaching to the
+// node's I/O context with WithIO.
+func (t *Trace) NodeIO(node int) *NodeIO { return &t.nodes[node].io }
+
+// storeMax raises a to at least v.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot is an immutable copy of a Trace, taken with Trace.Snapshot. It
+// is what Result carries and what the debug endpoints serve.
+type Snapshot struct {
+	// Job is the traced job's name.
+	Job string `json:"job"`
+	// ID is assigned by a Registry when the snapshot is recorded (0 until
+	// then).
+	ID int64 `json:"id,omitempty"`
+	// Start is when the job began executing.
+	Start time.Time `json:"start"`
+	// Elapsed is the wall time covered by the snapshot.
+	Elapsed time.Duration `json:"elapsed"`
+	// Err is the job's failure message, empty on success.
+	Err string `json:"err,omitempty"`
+	// Stages holds one entry per job stage.
+	Stages []StageSnapshot `json:"stages"`
+	// Nodes holds one entry per compute node.
+	Nodes []NodeSnapshot `json:"nodes"`
+}
+
+// StageSnapshot reports one stage of an executed job.
+type StageSnapshot struct {
+	// Stage is the stage index.
+	Stage int `json:"stage"`
+	// Name is the stage's function name.
+	Name string `json:"name"`
+	// Kind is "deref" or "ref".
+	Kind string `json:"kind"`
+	// Tasks is the number of pool tasks the stage executed (0 for
+	// referencer stages that ran inline).
+	Tasks int64 `json:"tasks"`
+	// Emits counts the stage's outputs: records for deref stages, pointers
+	// for ref stages (counted even when inlined).
+	Emits int64 `json:"emits"`
+	// Retries counts Dereferencer re-executions after transient failures.
+	Retries int64 `json:"retries"`
+	// Errors counts failed invocations.
+	Errors int64 `json:"errors"`
+	// SlowTasks counts tasks exceeding the slow-task threshold.
+	SlowTasks int64 `json:"slowTasks,omitempty"`
+	// Busy is the summed duration of the stage's tasks.
+	Busy time.Duration `json:"busy"`
+	// Wall is the span from the stage's first task start to its last task
+	// end — how long the stage was live on the critical path.
+	Wall time.Duration `json:"wall"`
+}
+
+// NodeSnapshot reports one compute node of an executed job.
+type NodeSnapshot struct {
+	// Node is the node id.
+	Node int `json:"node"`
+	// QueueHighWater is the deepest the node's input queue ever got.
+	QueueHighWater int64 `json:"queueHighWater"`
+	// WorkersSpawned is how many pool workers were actually started
+	// (bounded by Options.Threads; tiny jobs spawn far fewer).
+	WorkersSpawned int64 `json:"workersSpawned"`
+	// LocalIO counts storage accesses served by partitions this node owns.
+	LocalIO int64 `json:"localIO"`
+	// RemoteIO counts cross-node fetches this node issued.
+	RemoteIO int64 `json:"remoteIO"`
+}
+
+// Snapshot copies the live counters into an immutable Snapshot. It may be
+// called while the job is still running; err (may be nil) records the job's
+// outcome.
+func (t *Trace) Snapshot(err error) *Snapshot {
+	s := &Snapshot{
+		Job:     t.job,
+		Start:   t.start,
+		Elapsed: time.Since(t.start),
+		Stages:  make([]StageSnapshot, len(t.stages)),
+		Nodes:   make([]NodeSnapshot, len(t.nodes)),
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	for i := range t.stages {
+		st := &t.stages[i]
+		wall := time.Duration(0)
+		if first := st.firstStart.Load(); first != 0 {
+			if last := st.lastEnd.Load(); last > first {
+				wall = time.Duration(last - first)
+			}
+		}
+		s.Stages[i] = StageSnapshot{
+			Stage:     i,
+			Name:      st.info.Name,
+			Kind:      st.info.Kind,
+			Tasks:     st.tasks.Load(),
+			Emits:     st.emits.Load(),
+			Retries:   st.retries.Load(),
+			Errors:    st.errors.Load(),
+			SlowTasks: st.slowTasks.Load(),
+			Busy:      time.Duration(st.busyNanos.Load()),
+			Wall:      wall,
+		}
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		s.Nodes[i] = NodeSnapshot{
+			Node:           i,
+			QueueHighWater: n.queueHighWater.Load(),
+			WorkersSpawned: n.workersSpawned.Load(),
+			LocalIO:        n.io.local.Load(),
+			RemoteIO:       n.io.remote.Load(),
+		}
+	}
+	return s
+}
+
+// Table renders the snapshot as a human-readable per-stage table followed
+// by one line per node, the format the bench commands print under -trace:
+//
+//	job "q5" 12.3ms
+//	stage kind   name                         tasks   emits retries  maxq workers      busy      wall
+//	    0 deref  RangeDeref(orders_date_idx)      4     120       0
+//	...
+func (s *Snapshot) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %q %v", s.Job, s.Elapsed.Round(time.Microsecond))
+	if s.Err != "" {
+		fmt.Fprintf(&b, " FAILED: %s", s.Err)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%5s %-5s %-34s %9s %9s %7s %6s %12s %12s\n",
+		"stage", "kind", "name", "tasks", "emits", "retries", "slow", "busy", "wall")
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, "%5d %-5s %-34s %9d %9d %7d %6d %12s %12s\n",
+			st.Stage, st.Kind, st.Name, st.Tasks, st.Emits, st.Retries, st.SlowTasks,
+			st.Busy.Round(time.Microsecond), st.Wall.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "%5s %9s %9s %9s %9s\n", "node", "maxqueue", "workers", "localIO", "remoteIO")
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "%5d %9d %9d %9d %9d\n",
+			n.Node, n.QueueHighWater, n.WorkersSpawned, n.LocalIO, n.RemoteIO)
+	}
+	return b.String()
+}
+
+// TotalTasks sums the per-stage task counts.
+func (s *Snapshot) TotalTasks() int64 {
+	var total int64
+	for _, st := range s.Stages {
+		total += st.Tasks
+	}
+	return total
+}
+
+// TotalRetries sums the per-stage retry counts.
+func (s *Snapshot) TotalRetries() int64 {
+	var total int64
+	for _, st := range s.Stages {
+		total += st.Retries
+	}
+	return total
+}

@@ -42,6 +42,7 @@ import (
 	"lakeharbor/internal/metrics"
 	"lakeharbor/internal/sim"
 	"lakeharbor/internal/store"
+	"lakeharbor/internal/trace"
 )
 
 // Re-exported storage types.
@@ -111,7 +112,22 @@ type (
 	StructureSpec = indexer.Spec
 	// BuildStatus tracks a background structure build.
 	BuildStatus = indexer.BuildStatus
+	// ExecTrace is a job's execution trace snapshot (Result.Trace):
+	// per-stage spans and per-node queue/worker/I/O telemetry.
+	ExecTrace = trace.Snapshot
+	// StageTrace is one stage's span within an ExecTrace.
+	StageTrace = trace.StageSnapshot
+	// NodeTrace is one node's telemetry within an ExecTrace.
+	NodeTrace = trace.NodeSnapshot
+	// TraceRegistry retains recent ExecTraces and aggregates them into
+	// Prometheus-style metrics (see internal/httpapi's /debug endpoints).
+	TraceRegistry = trace.Registry
 )
+
+// Permanent reports whether an execution error can never heal by retrying
+// (unknown file, bad partition, wrong file kind); the executor fails fast
+// on these instead of consuming Options.MaxRetries.
+func Permanent(err error) bool { return core.Permanent(err) }
 
 // Re-exported constants.
 const (
