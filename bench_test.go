@@ -346,6 +346,44 @@ func partLineJoinJob(broadcast bool) (*core.Job, error) {
 	)
 }
 
+// BenchmarkAblationMaxBatch sweeps the pointer-batch size on the Fig. 7
+// SMPE arm at a fixed selectivity. The admissions/op metric is the point of
+// the batching refactor: at MaxBatch=64 the job must reach storage with
+// fewer gate admissions than at MaxBatch=1 (one admission covers a whole
+// batch), and meanbatch/op shows the batch size the coalescer achieved.
+func BenchmarkAblationMaxBatch(b *testing.B) {
+	cluster, ds, _ := fig7Setup(b)
+	ctx := context.Background()
+	lo, hi := fig7Range(0.05)
+	want := ds.OracleQ5(fig7Region, lo, hi)
+	job, err := tpch.Q5Job(ctx, cluster, fig7Region, lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			var admissions, batches, batched float64
+			for i := 0; i < b.N; i++ {
+				before := cluster.TotalMetrics()
+				res, err := core.ExecuteSMPE(ctx, job, cluster, cluster, core.Options{MaxBatch: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count != want {
+					b.Fatalf("rows = %d, want %d", res.Count, want)
+				}
+				admissions = float64(cluster.TotalMetrics().Sub(before).Lookups)
+				batches = float64(res.Trace.TotalBatches())
+				batched = float64(res.Trace.TotalBatchedPtrs())
+			}
+			b.ReportMetric(admissions, "admissions/op")
+			if batches > 0 {
+				b.ReportMetric(batched/batches, "meanbatch/op")
+			}
+		})
+	}
+}
+
 // BenchmarkPlannerAdaptive runs the declarative Q5'-shaped query through
 // the planner (§V-A/§V-D): at each selectivity it estimates, picks index
 // vs scan, and executes — so across the sweep its time should track the

@@ -29,6 +29,7 @@ func main() {
 		nClaims  = flag.Int("claims", 20000, "number of synthetic claims")
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
 		seed     = flag.Int64("seed", 2024, "generator seed")
+		batch    = flag.Int("batch", core.DefaultMaxBatch, "max pointers coalesced per dereference task (1 = unbatched)")
 		datalake = flag.Bool("datalake", false, "also run the full-scan data-lake arm the paper's footnote omits")
 		trace    = flag.Bool("trace", false, "print the per-stage execution trace of each ReDe run")
 	)
@@ -55,11 +56,11 @@ func main() {
 	for _, q := range claims.Queries {
 		wantClaims, wantExpense := corpus.Oracle(q.Disease, q.MedicineClass)
 
-		wh, err := claims.RunWarehouse(ctx, whCluster, q, core.Options{})
+		wh, err := claims.RunWarehouse(ctx, whCluster, q, core.Options{MaxBatch: *batch})
 		if err != nil {
 			log.Fatalf("%s warehouse: %v", q.Name, err)
 		}
-		rd, err := claims.RunReDe(ctx, lakeCluster, q, core.Options{})
+		rd, err := claims.RunReDe(ctx, lakeCluster, q, core.Options{MaxBatch: *batch})
 		if err != nil {
 			log.Fatalf("%s ReDe: %v", q.Name, err)
 		}

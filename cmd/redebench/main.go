@@ -42,6 +42,7 @@ func main() {
 		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
 		cores   = flag.Int("cores", 16, "baseline static per-node parallelism")
 		threads = flag.Int("threads", core.DefaultThreads, "SMPE per-node worker pool size")
+		batch   = flag.Int("batch", core.DefaultMaxBatch, "max pointers coalesced per dereference task (1 = unbatched)")
 		region  = flag.String("region", "ASIA", "Q5' region predicate")
 		selsArg = flag.String("sels", "0.0001,0.001,0.01,0.05,0.1,0.3,1.0", "comma-separated selectivities")
 		seed    = flag.Int64("seed", 1, "generator seed")
@@ -108,6 +109,7 @@ func main() {
 		smpe, err := core.Execute(ctx, job, cluster, cluster, core.Options{
 			Threads:           *threads,
 			InlineReferencers: true,
+			MaxBatch:          *batch,
 			SlowTaskThreshold: *slow,
 			TraceLog:          log.Printf,
 		})

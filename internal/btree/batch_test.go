@@ -1,0 +1,60 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGetBatchMatchesGet: for random trees with duplicate runs, GetBatch
+// over an unsorted, repeating key list (hits and misses mixed) must return
+// exactly what per-key Get returns, aligned with the input.
+func TestGetBatchMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		tr := New()
+		n := rng.Intn(800)
+		for i := 0; i < n; i++ {
+			// Narrow key space forces duplicate runs, some spanning leaves.
+			k := fmt.Sprintf("k%03d", rng.Intn(120))
+			tr.Insert(k, []byte(fmt.Sprintf("v%d", i)))
+		}
+		var keys []string
+		for i := 0; i < 200; i++ {
+			keys = append(keys, fmt.Sprintf("k%03d", rng.Intn(160))) // ~25% misses
+		}
+		// Repeats, including adjacent ones after sorting.
+		keys = append(keys, keys[:20]...)
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+		got := tr.GetBatch(keys)
+		if len(got) != len(keys) {
+			t.Fatalf("trial %d: GetBatch returned %d groups for %d keys", trial, len(got), len(keys))
+		}
+		for i, k := range keys {
+			want := tr.Get(k)
+			if len(got[i]) != len(want) {
+				t.Fatalf("trial %d key %q: batch %d values, Get %d", trial, k, len(got[i]), len(want))
+			}
+			for j := range want {
+				if string(got[i][j]) != string(want[j]) {
+					t.Fatalf("trial %d key %q value %d: %q vs %q", trial, k, j, got[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGetBatchEmptyAndMissOnly(t *testing.T) {
+	tr := New()
+	if out := tr.GetBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d groups", len(out))
+	}
+	tr.Insert("b", []byte("1"))
+	out := tr.GetBatch([]string{"a", "c", "z"})
+	for i, vals := range out {
+		if vals != nil {
+			t.Fatalf("miss %d returned %v", i, vals)
+		}
+	}
+}

@@ -160,6 +160,72 @@ func (t *Tree) Get(key string) [][]byte {
 	return out
 }
 
+// GetBatch returns the values stored under each key, aligned with keys (a
+// miss yields a nil slice at that position). It is the multi-get behind
+// lake.BatchFile: the keys are visited in sorted order and the cursor walks
+// the leaf chain forward between adjacent keys, so a batch of k nearby keys
+// costs one root-to-leaf descent plus k leaf probes instead of k descents.
+// Keys may arrive unsorted and may repeat; repeated keys share the cached
+// result.
+func (t *Tree) GetBatch(keys []string) [][][]byte {
+	out := make([][][]byte, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	// Visit in sorted key order without disturbing the caller's slice.
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	var cur *leaf // leaf holding the first entry >= the previous key
+	last := -1    // index into keys of the previous distinct key
+	for _, i := range order {
+		k := keys[i]
+		if last >= 0 && keys[last] == k {
+			out[i] = out[last] // repeated key: share the result
+			continue
+		}
+		var li int
+		cur, li = t.seekFrom(cur, k)
+		// Collect every value stored under k, walking the leaf chain for
+		// duplicate runs that span leaves.
+		var vals [][]byte
+	scan:
+		for l, j := cur, li; l != nil; l, j = l.next, 0 {
+			cur = l // advance the cursor past duplicate runs
+			for ; j < len(l.keys); j++ {
+				if l.keys[j] != k {
+					break scan
+				}
+				vals = append(vals, l.vals[j])
+			}
+		}
+		out[i] = vals
+		last = i
+	}
+	return out
+}
+
+// seekFrom positions the cursor at the first entry >= k, reusing cur (the
+// leaf the previous, smaller key landed in) when k is within reach — the
+// same leaf or its immediate successor — and re-descending from the root
+// otherwise.
+func (t *Tree) seekFrom(cur *leaf, k string) (*leaf, int) {
+	if cur != nil {
+		if n := len(cur.keys); n > 0 && k <= cur.keys[n-1] {
+			return cur, lowerBound(cur.keys, k)
+		}
+		if nxt := cur.next; nxt != nil {
+			if n := len(nxt.keys); n > 0 && k <= nxt.keys[n-1] {
+				return nxt, lowerBound(nxt.keys, k)
+			}
+		}
+	}
+	return t.root.firstLeafGE(k)
+}
+
 // Ascend calls fn for every entry with lo <= key <= hi in ascending key
 // order (duplicates in insertion order). Iteration stops early if fn
 // returns false.

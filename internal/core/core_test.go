@@ -431,7 +431,9 @@ func TestContextCancellation(t *testing.T) {
 func TestStageTaskCounts(t *testing.T) {
 	fx := newFixture(t, 2, 10, 3)
 	job := fx.joinJob(0, 1000, false)
-	res, err := ExecuteSMPE(fx.ctx, job, fx.cluster, fx.cluster, Options{})
+	// MaxBatch 1 pins the one-task-per-pointer granularity this test is
+	// about; batched task counts are covered in batch_test.go.
+	res, err := ExecuteSMPE(fx.ctx, job, fx.cluster, fx.cluster, Options{MaxBatch: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

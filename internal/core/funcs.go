@@ -98,6 +98,52 @@ func (d LookupDeref) Deref(tc *TaskCtx, ptr lake.Pointer) ([]lake.Record, error)
 	return applyFilter(d.Filter, out)
 }
 
+// DerefBatch implements BatchDereferencer: the batch's keys reach storage
+// through lake.LookupBatch — one admission per target partition instead of
+// one per pointer. The executor coalesces per partition, so a batch
+// normally hits exactly one; pointers a hash change re-routed mid-batch
+// still resolve correctly because grouping re-derives each pointer's
+// partition here. Broadcast pointers (which address many partitions) fall
+// back to the per-pointer path.
+func (d LookupDeref) DerefBatch(tc *TaskCtx, ptrs []lake.Pointer) ([][]lake.Record, error) {
+	f, err := tc.Catalog.File(d.File)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]lake.Record, len(ptrs))
+	groups := make(map[int][]int) // partition -> indices into ptrs
+	for i, ptr := range ptrs {
+		part, broadcast := lake.ResolvePartition(f, ptr)
+		if broadcast {
+			recs, err := d.Deref(tc, ptr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = recs
+			continue
+		}
+		groups[part] = append(groups[part], i)
+	}
+	for part, idxs := range groups {
+		keys := make([]lake.Key, len(idxs))
+		for j, i := range idxs {
+			keys[j] = ptrs[i].Key
+		}
+		res, err := lake.LookupBatch(tc.Ctx, f, part, keys)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", d.Name(), err)
+		}
+		for j, i := range idxs {
+			recs := combine(d.Combine, ptrs[i], res[j])
+			if recs, err = applyFilter(d.Filter, recs); err != nil {
+				return nil, err
+			}
+			out[i] = recs
+		}
+	}
+	return out, nil
+}
+
 // combine merges the pointer's carried context with each fetched record,
 // producing composite segment-list records (multi-way join state).
 func combine(enabled bool, ptr lake.Pointer, recs []lake.Record) []lake.Record {

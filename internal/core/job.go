@@ -83,6 +83,21 @@ type Dereferencer interface {
 	Deref(tc *TaskCtx, ptr lake.Pointer) ([]lake.Record, error)
 }
 
+// BatchDereferencer is optionally implemented by Dereferencers that can
+// serve a whole pointer batch in one storage round trip. The executor
+// coalesces routed point pointers per (stage, file, partition) up to
+// Options.MaxBatch and hands the batch here; a Dereferencer that does not
+// implement it is simply invoked once per pointer, so batching is purely an
+// optimization, never a semantic change.
+type BatchDereferencer interface {
+	Dereferencer
+	// DerefBatch produces, for each pointer, the records it points to,
+	// aligned with ptrs (out[i] belongs to ptrs[i]). An error fails the
+	// whole batch; the executor then splits the batch and retries the
+	// pointers individually, so a partial failure never loses work.
+	DerefBatch(tc *TaskCtx, ptrs []lake.Pointer) ([][]lake.Record, error)
+}
+
 // Stage is one step of a job: exactly one of Ref or Deref is set.
 type Stage struct {
 	Ref   Referencer

@@ -44,6 +44,19 @@ type Options struct {
 	// Each, if non-nil, is called for every result record, on the emitting
 	// node's workers. It must be safe for concurrent use.
 	Each func(node int, rec lake.Record) error
+	// MaxBatch bounds how many routed point pointers a worker coalesces
+	// into one dereference task. While a worker processes a task, the
+	// pointers it emits are buffered per (stage, file, partition); a
+	// buffer is flushed as a single batched task when it reaches MaxBatch
+	// and, unconditionally, when the producing task ends — a pointer never
+	// waits on future work, so the tail of a job cannot strand. Batches
+	// reach storage through BatchDereferencer (one gate admission per
+	// batch) when the stage's Dereferencer implements it, and fall back to
+	// per-pointer invocation when it does not. 0 and 1 disable coalescing
+	// (the pre-batching behaviour: every pointer is its own task);
+	// ExecuteSMPE defaults 0 to DefaultMaxBatch. Negative values are
+	// rejected. Broadcast and range pointers are never coalesced.
+	MaxBatch int
 	// MaxRetries re-executes a failed Dereferencer invocation up to this
 	// many additional times before failing the job — transient storage
 	// faults (a flaky disk, a brief partition) then never surface.
@@ -64,9 +77,17 @@ type Options struct {
 // DefaultThreads is the paper's default per-node thread-pool size.
 const DefaultThreads = 1000
 
+// DefaultMaxBatch is the pointer-batch size ExecuteSMPE uses when
+// Options.MaxBatch is zero. 64 keeps a batch within one B-tree leaf's worth
+// of keys while amortizing most of the per-admission cost.
+const DefaultMaxBatch = 64
+
 func (o Options) withDefaults() (Options, error) {
 	if o.Threads < 0 {
 		return o, fmt.Errorf("Options.Threads must be >= 0, got %d", o.Threads)
+	}
+	if o.MaxBatch < 0 {
+		return o, fmt.Errorf("Options.MaxBatch must be >= 0, got %d", o.MaxBatch)
 	}
 	if o.Threads == 0 {
 		o.Threads = DefaultThreads
@@ -95,14 +116,25 @@ type Result struct {
 	Trace *trace.Snapshot
 }
 
-// task is one unit of work in a node's input queue: a pointer destined for
-// a Dereferencer stage, or (when referencers are not inlined) a record
-// destined for a Referencer stage.
+// task is one unit of work in a node's input queue: a batch of pointers
+// destined for a Dereferencer stage (coalesced up to Options.MaxBatch; often
+// a single pointer), or (when referencers are not inlined) a record destined
+// for a Referencer stage.
 type task struct {
 	stage int
 	isRec bool
-	ptr   lake.Pointer
+	ptrs  []lake.Pointer
 	rec   lake.Record
+}
+
+// weight is the task's contribution to the executor's in-flight counter:
+// one unit per pointer, so splitting or coalescing batches never changes
+// the total outstanding weight of the same pointers.
+func (t task) weight() int64 {
+	if t.isRec || len(t.ptrs) == 0 {
+		return 1
+	}
+	return int64(len(t.ptrs))
 }
 
 // Permanent reports whether err can never heal by retrying: a catalog miss,
@@ -292,7 +324,7 @@ func (p *nodePool) worker() {
 			return
 		}
 		p.e.process(p.tc, t)
-		p.e.finish()
+		p.e.finishN(t.weight())
 	}
 }
 
@@ -325,14 +357,15 @@ func (e *executor) firstErr() error {
 }
 
 // enqueuePointer implements Algorithm 1's enqueue and broadcast rules
-// (lines 28–33, 47–51). fromNode is the node whose queue routed pointers
-// land on; seeds instead land on the owner of their target partition.
+// (lines 28–33, 47–51) for a single pointer. fromNode is the node whose
+// queue routed pointers land on; seeds instead land on the owner of their
+// target partition.
 func (e *executor) enqueuePointer(fromNode, stage int, ptr lake.Pointer, isSeed bool) {
 	if ptr.NoPart {
 		// BROADCAST: enqueue to every node's queue; each node will
 		// treat it as addressing its local partitions.
 		for node := range e.queues {
-			e.enqueue(node, task{stage: stage, ptr: ptr})
+			e.dispatch(node, task{stage: stage, ptrs: []lake.Pointer{ptr}})
 		}
 		return
 	}
@@ -348,40 +381,115 @@ func (e *executor) enqueuePointer(fromNode, stage int, ptr lake.Pointer, isSeed 
 		part, _ := lake.ResolvePartition(f, ptr)
 		node = e.topo.OwnerNode(part)
 	}
-	e.enqueue(node, task{stage: stage, ptr: ptr})
+	e.dispatch(node, task{stage: stage, ptrs: []lake.Pointer{ptr}})
 }
 
 func (e *executor) enqueueRecord(node, stage int, rec lake.Record) {
-	e.enqueue(node, task{stage: stage, isRec: true, rec: rec})
+	e.dispatch(node, task{stage: stage, isRec: true, rec: rec})
 }
 
-// enqueue pushes one task onto a node's queue with balanced in-flight
-// accounting: the counter is raised before the push (a worker may pop and
-// finish the task before push even returns), and rolled back if the queue
-// rejected the task because the job already completed or failed.
-func (e *executor) enqueue(node int, t task) {
-	e.inflight.Add(1)
+// dispatch pushes one task onto a node's queue with balanced in-flight
+// accounting: the task's weight is added before the push (a worker may pop
+// and finish the task before push even returns), and rolled back if the
+// queue rejected the task because the job already completed or failed.
+func (e *executor) dispatch(node int, t task) {
+	w := t.weight()
+	e.inflight.Add(w)
 	ok, depth := e.queues[node].push(t)
 	if !ok {
-		e.finish() // dropped on a closed queue; roll the counter back
+		e.finishN(w) // dropped on a closed queue; roll the counter back
 		return
 	}
 	e.tr.Enqueue(node, depth)
 	e.pools[node].maybeSpawn()
 }
 
-// finish decrements the in-flight counter after a task (and everything it
+// finishN decrements the in-flight counter after a task (and everything it
 // enqueued) is accounted for; global completion is the counter reaching
 // zero ("until all tasks are finished").
-func (e *executor) finish() {
-	if e.inflight.Add(-1) == 0 {
+func (e *executor) finishN(n int64) {
+	if e.inflight.Add(-n) == 0 {
 		e.doneOnce.Do(func() { close(e.done) })
 	}
 }
 
-// process executes one task: a Dereferencer invocation on a pointer, or a
-// Referencer invocation on a record. Referencer work is inlined after the
-// producing dereference when Options.InlineReferencers is set.
+// batchKey groups coalescible pointers: same stage, same target file, same
+// routed partition. One flushed buffer therefore maps to exactly one
+// partition probe — one gate admission — at the storage layer.
+type batchKey struct {
+	stage     int
+	file      string
+	partition int
+}
+
+// batcher coalesces the pointers emitted while ONE task is processed. It is
+// worker-local (no locking) and is always flushed before the owning task
+// finishes, so buffered pointers are covered by the producing task's
+// in-flight weight and can never strand: completion is only detected after
+// the flush has dispatched them. Pointers that cannot batch — broadcasts,
+// ranges, catalog misses — pass straight through as singleton tasks.
+type batcher struct {
+	e     *executor
+	node  int
+	bufs  map[batchKey][]lake.Pointer
+	files map[string]lake.File // per-task cache for partition routing
+}
+
+func (e *executor) newBatcher(node int) *batcher {
+	return &batcher{e: e, node: node}
+}
+
+// add routes one emitted pointer: buffered under its (stage, file,
+// partition) when coalescible, dispatched immediately otherwise. A buffer
+// reaching Options.MaxBatch is flushed at once.
+func (b *batcher) add(stage int, ptr lake.Pointer) {
+	if b.e.opts.MaxBatch <= 1 || ptr.NoPart || ptr.IsRange() {
+		b.e.enqueuePointer(b.node, stage, ptr, false)
+		return
+	}
+	f, ok := b.files[ptr.File]
+	if !ok {
+		var err error
+		f, err = b.e.catalog.File(ptr.File)
+		if err != nil {
+			// Unknown file: dispatch as a singleton so the stage's
+			// Dereferencer reports the error on the normal path.
+			b.e.enqueuePointer(b.node, stage, ptr, false)
+			return
+		}
+		if b.files == nil {
+			b.files = make(map[string]lake.File)
+		}
+		b.files[ptr.File] = f
+	}
+	part, _ := lake.ResolvePartition(f, ptr) // never broadcast: NoPart checked above
+	k := batchKey{stage: stage, file: ptr.File, partition: part}
+	if b.bufs == nil {
+		b.bufs = make(map[batchKey][]lake.Pointer)
+	}
+	b.bufs[k] = append(b.bufs[k], ptr)
+	if len(b.bufs[k]) >= b.e.opts.MaxBatch {
+		b.e.dispatch(b.node, task{stage: k.stage, ptrs: b.bufs[k]})
+		delete(b.bufs, k)
+	}
+}
+
+// flush dispatches every partial buffer. It MUST run before the producing
+// task is marked finished.
+func (b *batcher) flush() {
+	for k, ptrs := range b.bufs {
+		b.e.dispatch(b.node, task{stage: k.stage, ptrs: ptrs})
+		delete(b.bufs, k)
+	}
+}
+
+// process executes one task: a Dereferencer invocation on a pointer batch,
+// or a Referencer invocation on a record. Referencer work is inlined after
+// the producing dereference when Options.InlineReferencers is set. The
+// pointers a task emits are coalesced by a task-scoped batcher that is
+// flushed before process returns — i.e. before the task's weight is
+// subtracted from the in-flight counter — so batching can never let the job
+// complete with pointers still buffered.
 func (e *executor) process(tc *TaskCtx, t task) {
 	if tc.Ctx.Err() != nil {
 		return // job already failed or cancelled; drain cheaply
@@ -397,13 +505,16 @@ func (e *executor) process(tc *TaskCtx, t task) {
 			return
 		}
 		e.tr.AddEmits(t.stage, len(ptrs))
+		b := e.newBatcher(tc.Node)
 		for _, p := range ptrs {
-			e.enqueuePointer(tc.Node, t.stage+1, p, false)
+			b.add(t.stage+1, p)
 		}
+		b.flush()
 		return
 	}
 
-	recs, err := e.derefWithRetry(tc, t.stage, stage.Deref, t.ptr)
+	e.tr.AddBatch(t.stage, len(t.ptrs))
+	recs, err := e.derefTask(tc, t.stage, stage.Deref, t.ptrs)
 	if err != nil {
 		e.tr.AddError(t.stage)
 		e.fail(err)
@@ -425,6 +536,7 @@ func (e *executor) process(tc *TaskCtx, t task) {
 	// Inline the next Referencer on this worker (the paper avoids thread
 	// switches for CPU-light referencers).
 	ref := e.job.Stages[next].Ref
+	b := e.newBatcher(tc.Node)
 	for _, r := range recs {
 		ptrs, err := ref.Ref(tc, r)
 		if err != nil {
@@ -434,9 +546,45 @@ func (e *executor) process(tc *TaskCtx, t task) {
 		}
 		e.tr.AddEmits(next, len(ptrs))
 		for _, p := range ptrs {
-			e.enqueuePointer(tc.Node, next+1, p, false)
+			b.add(next+1, p)
 		}
 	}
+	b.flush()
+}
+
+// derefTask resolves a pointer batch to records. A single pointer takes the
+// classic retried path; a true batch goes through the stage's
+// BatchDereferencer when it has one (a single storage round trip). A failed
+// batch is split: every pointer is retried individually via derefWithRetry,
+// so one bad pointer costs one pointer, not the batch, and the per-pointer
+// path reports the precise failing pointer.
+func (e *executor) derefTask(tc *TaskCtx, stage int, d Dereferencer, ptrs []lake.Pointer) ([]lake.Record, error) {
+	if len(ptrs) == 1 {
+		return e.derefWithRetry(tc, stage, d, ptrs[0])
+	}
+	if bd, ok := d.(BatchDereferencer); ok {
+		groups, err := bd.DerefBatch(tc, ptrs)
+		if err == nil {
+			var out []lake.Record
+			for _, recs := range groups {
+				out = append(out, recs...)
+			}
+			return out, nil
+		}
+		if tc.Ctx.Err() != nil {
+			return nil, err // dying job: don't grind through the split
+		}
+		e.tr.AddBatchSplit(stage)
+	}
+	var out []lake.Record
+	for _, p := range ptrs {
+		recs, err := e.derefWithRetry(tc, stage, d, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
 }
 
 // derefWithRetry runs a Dereferencer, retrying per Options.MaxRetries.
@@ -486,10 +634,14 @@ func (e *executor) collect(node int, recs []lake.Record) {
 	nr.mu.Unlock()
 }
 
-// ExecuteSMPE runs the job with the paper's default massive parallelism.
+// ExecuteSMPE runs the job with the paper's default massive parallelism,
+// plus pointer batching at DefaultMaxBatch unless the caller chose a size.
 func ExecuteSMPE(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology, opts Options) (*Result, error) {
 	if opts.Threads == 0 {
 		opts.Threads = DefaultThreads
+	}
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = DefaultMaxBatch
 	}
 	opts.InlineReferencers = true
 	return Execute(ctx, job, catalog, topo, opts)
@@ -510,10 +662,15 @@ func ExecutePlain(ctx context.Context, job *Job, catalog lake.Catalog, topo Topo
 // routed seed per overlapping partition is produced; otherwise (hash or
 // unknown partitioning, e.g. a local secondary index) a single broadcast
 // seed lets every node search its local partitions.
+// A degenerate range (lo > hi) selects nothing and yields an empty seed
+// list; callers decide whether an empty job is an error.
 func SeedRange(catalog lake.Catalog, file string, lo, hi lake.Key) ([]lake.Pointer, error) {
 	f, err := catalog.File(file)
 	if err != nil {
 		return nil, err
+	}
+	if lo > hi {
+		return nil, nil
 	}
 	if rp, ok := f.Partitioner().(lake.RangePartitioner); ok {
 		parts := rp.PartitionsOverlapping(lo, hi, f.NumPartitions())

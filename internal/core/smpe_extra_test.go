@@ -85,8 +85,20 @@ func TestLargeFanoutStress(t *testing.T) {
 	if res.Count != rows {
 		t.Fatalf("stress count = %d, want %d", res.Count, rows)
 	}
-	if res.StageTasks[2] != rows {
-		t.Fatalf("stress final-stage tasks = %d, want %d", res.StageTasks[2], rows)
+	if res.StageEmits[2] != rows {
+		t.Fatalf("stress final-stage emits = %d, want %d", res.StageEmits[2], rows)
+	}
+	// Batching coalesces the fan-out into fewer tasks, but every pointer
+	// must still arrive exactly once.
+	st := res.Trace.Stages[2]
+	if st.BatchedPtrs != rows {
+		t.Fatalf("stress final-stage batched pointers = %d, want %d", st.BatchedPtrs, rows)
+	}
+	if st.Batches != res.StageTasks[2] {
+		t.Fatalf("stress final-stage batches = %d, tasks = %d; want equal", st.Batches, res.StageTasks[2])
+	}
+	if res.StageTasks[2] >= rows {
+		t.Fatalf("stress final-stage tasks = %d, want < %d (batching should coalesce)", res.StageTasks[2], rows)
 	}
 	t.Logf("30k-task stress in %v", time.Since(start))
 }

@@ -338,6 +338,57 @@ func (f *file) admit(ctx context.Context, owner *node, scan bool, n int) error {
 	return owner.gate.Lookup(ctx, remote)
 }
 
+// LookupBatch implements lake.BatchFile: the whole batch is served under
+// ONE gate admission — the cost model charges full latency for the first
+// key and the marginal BatchPerKey for every key after it (seek
+// amortization) — and, when the caller is remote, the batch is priced as a
+// single network message. The per-batch fault and I/O attribution mirror
+// that: one takeFault consumption, one local/remote observation.
+func (f *file) LookupBatch(ctx context.Context, partitionIdx int, keys []lake.Key) ([][]lake.Record, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	p, owner, err := f.part(partitionIdx)
+	if err != nil {
+		return nil, err
+	}
+	remote := false
+	if caller := CallerNode(ctx); caller >= 0 && caller != owner.id {
+		remote = true
+		owner.counters.AddRemoteFetch()
+	}
+	if io := trace.IOFrom(ctx); io != nil {
+		io.Observe(remote)
+	}
+	owner.counters.AddBatchLookup(len(keys))
+	if err := owner.gate.LookupBatch(ctx, len(keys), remote); err != nil {
+		return nil, err
+	}
+	if err := p.takeFault(); err != nil {
+		return nil, fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	groups := p.tree.GetBatch(keys)
+	out := make([][]lake.Record, len(keys))
+	read, bytes := 0, 0
+	for i, vals := range groups {
+		if len(vals) == 0 {
+			continue
+		}
+		recs := make([]lake.Record, len(vals))
+		for j, v := range vals {
+			recs[j] = lake.Record{Key: keys[i], Data: v}
+			bytes += len(v)
+		}
+		out[i] = recs
+		read += len(recs)
+	}
+	owner.counters.AddRecordsRead(read)
+	owner.counters.AddBytesRead(bytes)
+	return out, nil
+}
+
 // Lookup implements lake.File.
 func (f *file) Lookup(ctx context.Context, partitionIdx int, key lake.Key) ([]lake.Record, error) {
 	p, owner, err := f.part(partitionIdx)

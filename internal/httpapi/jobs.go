@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"lakeharbor/internal/core"
+	"lakeharbor/internal/lake"
 	"lakeharbor/internal/trace"
 )
 
@@ -80,14 +82,34 @@ func (s *Server) handleJobRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	if len(seeds) == 0 {
+		// Degenerate range (lo > hi): nothing to run, nothing to return.
+		writeJSON(w, http.StatusOK, JobResultJSON{Records: []RecordJSON{}})
+		return
+	}
 	job, err := core.NewJob("range:"+name, seeds, core.RangeDeref{File: name})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Retain at most `limit` records while the job runs, instead of keeping
+	// the whole result (KeepRecords) and truncating afterwards: a range
+	// over a huge file must not hold every record in server memory when
+	// the client asked for the first hundred.
+	var (
+		mu   sync.Mutex
+		kept []RecordJSON
+	)
 	res, err := core.Execute(r.Context(), job, s.cluster, s.cluster, core.Options{
-		Threads:     threads,
-		KeepRecords: true,
+		Threads: threads,
+		Each: func(_ int, rec lake.Record) error {
+			mu.Lock()
+			if len(kept) < limit {
+				kept = append(kept, toRecordJSON(rec))
+			}
+			mu.Unlock()
+			return nil
+		},
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -95,16 +117,10 @@ func (s *Server) handleJobRange(w http.ResponseWriter, r *http.Request) {
 	}
 	s.traces.Add(res.Trace)
 
-	out := JobResultJSON{Count: res.Count, TraceID: res.Trace.ID}
-	recs := res.Records
-	if len(recs) > limit {
-		recs = recs[:limit]
+	if kept == nil {
+		kept = []RecordJSON{}
 	}
-	out.Records = make([]RecordJSON, len(recs))
-	for i, rec := range recs {
-		out.Records[i] = toRecordJSON(rec)
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, JobResultJSON{Count: res.Count, TraceID: res.Trace.ID, Records: kept})
 }
 
 func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
@@ -136,7 +152,9 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		name, help string
 		v          int64
 	}{
-		{"lakeharbor_storage_lookups_total", "Random lookups served by the cluster.", m.Lookups},
+		{"lakeharbor_storage_lookups_total", "Random-access gate admissions (a batch is one).", m.Lookups},
+		{"lakeharbor_storage_batch_lookups_total", "Admissions that were batched lookups.", m.BatchLookups},
+		{"lakeharbor_storage_batch_keys_total", "Keys served through batched lookups.", m.BatchKeys},
 		{"lakeharbor_storage_records_read_total", "Records returned by lookups.", m.RecordsRead},
 		{"lakeharbor_storage_records_scanned_total", "Records visited by scans.", m.RecordsScanned},
 		{"lakeharbor_storage_remote_fetches_total", "Cross-node accesses.", m.RemoteFetches},

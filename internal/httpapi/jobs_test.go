@@ -29,6 +29,15 @@ func TestJobRange(t *testing.T) {
 		t.Fatalf("limited job = count %d, %d records", res.Count, len(res.Records))
 	}
 
+	// A degenerate (inverted) range is empty, not an error and not a
+	// silently swapped range.
+	if code := getJSON(t, srv.URL+"/v1/jobs/range?file=events&lo=int:19&hi=int:10", &res); code != 200 {
+		t.Fatalf("degenerate range status = %d", code)
+	}
+	if res.Count != 0 || len(res.Records) != 0 {
+		t.Fatalf("degenerate range = count %d, %d records, want empty", res.Count, len(res.Records))
+	}
+
 	// Error paths.
 	if code := getJSON(t, srv.URL+"/v1/jobs/range?file=ghost&lo=int:0&hi=int:1", nil); code != 404 {
 		t.Errorf("ghost file status = %d", code)

@@ -1,0 +1,72 @@
+package lake
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lakeharbor/internal/keycodec"
+)
+
+func TestPartitionsOverlappingDegenerate(t *testing.T) {
+	rp := NewRangePartitioner(keycodec.Int64(10), keycodec.Int64(20))
+	// An inverted range selects nothing; the old behaviour silently
+	// swapped the bounds and returned partitions.
+	if got := rp.PartitionsOverlapping(keycodec.Int64(15), keycodec.Int64(5), 3); len(got) != 0 {
+		t.Errorf("inverted range overlapped %v, want none", got)
+	}
+	// The proper orientation still works.
+	if got := rp.PartitionsOverlapping(keycodec.Int64(5), keycodec.Int64(15), 3); len(got) != 2 {
+		t.Errorf("valid range overlapped %v, want 2 partitions", got)
+	}
+}
+
+// stubFile is a minimal File (not a BatchFile) for fallback tests.
+type stubFile struct {
+	lookups int
+	fail    Key
+}
+
+func (s *stubFile) Name() string             { return "stub" }
+func (s *stubFile) NumPartitions() int       { return 1 }
+func (s *stubFile) Partitioner() Partitioner { return HashPartitioner{} }
+func (s *stubFile) Lookup(_ context.Context, _ int, key Key) ([]Record, error) {
+	s.lookups++
+	if key == s.fail {
+		return nil, errors.New("boom")
+	}
+	if key == "miss" {
+		return nil, nil
+	}
+	return []Record{{Key: key, Data: []byte("v-" + string(key))}}, nil
+}
+func (s *stubFile) Scan(context.Context, int, func(Record) error) error { return nil }
+func (s *stubFile) Append(context.Context, int, ...Record) error        { return nil }
+
+func TestLookupBatchFallback(t *testing.T) {
+	s := &stubFile{}
+	keys := []Key{"a", "miss", "b"}
+	// LookupBatch on a non-BatchFile must degrade to per-key Lookups with
+	// aligned results.
+	out, err := LookupBatch(context.Background(), s, 0, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.lookups != len(keys) {
+		t.Errorf("fallback issued %d lookups, want %d", s.lookups, len(keys))
+	}
+	if len(out) != len(keys) {
+		t.Fatalf("fallback returned %d groups", len(out))
+	}
+	if len(out[0]) != 1 || string(out[0][0].Data) != "v-a" {
+		t.Errorf("out[0] = %v", out[0])
+	}
+	if out[1] != nil {
+		t.Errorf("miss group = %v, want nil", out[1])
+	}
+
+	s2 := &stubFile{fail: "b"}
+	if _, err := LookupBatch(context.Background(), s2, 0, []Key{"a", "b", "c"}); err == nil {
+		t.Fatal("fallback swallowed the per-key error")
+	}
+}

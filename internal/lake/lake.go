@@ -114,6 +114,45 @@ type BtreeFile interface {
 	LookupRange(ctx context.Context, partition int, lo, hi Key) ([]Record, error)
 }
 
+// BatchFile is a File that can serve many point lookups in one call. The
+// executor's batched dereference path uses it to amortize per-lookup
+// overheads — queue admission, gate admission, tree descent, network round
+// trips — across a whole pointer batch.
+type BatchFile interface {
+	File
+	// LookupBatch returns, for each keys[i], the records stored under that
+	// key in partition, aligned with keys (a miss yields a nil slice at
+	// that position). Implementations may reorder work internally but must
+	// keep the output aligned.
+	LookupBatch(ctx context.Context, partition int, keys []Key) ([][]Record, error)
+}
+
+// LookupBatch serves a batch of point lookups against f, using the file's
+// native batch path when it implements BatchFile and falling back to one
+// Lookup per key otherwise. Callers therefore batch unconditionally; files
+// opt in to the amortization.
+func LookupBatch(ctx context.Context, f File, partition int, keys []Key) ([][]Record, error) {
+	if bf, ok := f.(BatchFile); ok {
+		return bf.LookupBatch(ctx, partition, keys)
+	}
+	return LookupBatchFallback(ctx, f, partition, keys)
+}
+
+// LookupBatchFallback serves a batch against any File by issuing one Lookup
+// per key. It keeps non-batch files working behind the batched executor
+// path, at the cost of per-key admission.
+func LookupBatchFallback(ctx context.Context, f File, partition int, keys []Key) ([][]Record, error) {
+	out := make([][]Record, len(keys))
+	for i, k := range keys {
+		recs, err := f.Lookup(ctx, partition, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = recs
+	}
+	return out, nil
+}
+
 // Partitioner maps a partition key to a partition index in [0, n).
 type Partitioner interface {
 	// Partition returns the partition index for key given n partitions.
@@ -176,13 +215,15 @@ func (r RangePartitioner) Name() string { return "range" }
 // PartitionsOverlapping returns the partition indices whose key range
 // intersects [lo, hi] given n partitions. It lets a range dereference touch
 // only the partitions that can hold matches when the file is
-// range-partitioned by the lookup key.
+// range-partitioned by the lookup key. A degenerate range (lo > hi) can
+// hold no matches and returns nil rather than silently swapping the bounds
+// into a range the caller never asked for.
 func (r RangePartitioner) PartitionsOverlapping(lo, hi Key, n int) []int {
+	if lo > hi {
+		return nil
+	}
 	first := r.Partition(lo, n)
 	last := r.Partition(hi, n)
-	if last < first {
-		first, last = last, first
-	}
 	out := make([]int, 0, last-first+1)
 	for i := first; i <= last && i < n; i++ {
 		out = append(out, i)

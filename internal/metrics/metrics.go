@@ -15,6 +15,8 @@ import (
 // concurrent use. The zero value is ready to use.
 type Counters struct {
 	lookups        atomic.Int64
+	batchLookups   atomic.Int64
+	batchKeys      atomic.Int64
 	recordsRead    atomic.Int64
 	recordsScanned atomic.Int64
 	remoteFetches  atomic.Int64
@@ -24,6 +26,15 @@ type Counters struct {
 
 // AddLookup records one random lookup operation (point or range).
 func (c *Counters) AddLookup() { c.lookups.Add(1) }
+
+// AddBatchLookup records one batched lookup serving n keys. The batch is
+// one gate admission, so it counts as one lookup; the per-key fan-in is
+// tracked separately so harnesses can report the amortization achieved.
+func (c *Counters) AddBatchLookup(n int) {
+	c.lookups.Add(1)
+	c.batchLookups.Add(1)
+	c.batchKeys.Add(int64(n))
+}
 
 // AddRecordsRead records n records returned by lookups.
 func (c *Counters) AddRecordsRead(n int) { c.recordsRead.Add(int64(n)) }
@@ -44,6 +55,8 @@ func (c *Counters) AddAppend(n int) { c.appends.Add(int64(n)) }
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
 		Lookups:        c.lookups.Load(),
+		BatchLookups:   c.batchLookups.Load(),
+		BatchKeys:      c.batchKeys.Load(),
 		RecordsRead:    c.recordsRead.Load(),
 		RecordsScanned: c.recordsScanned.Load(),
 		RemoteFetches:  c.remoteFetches.Load(),
@@ -54,7 +67,13 @@ func (c *Counters) Snapshot() Snapshot {
 
 // Snapshot is an immutable copy of a Counters at one instant.
 type Snapshot struct {
-	Lookups        int64
+	// Lookups counts gate admissions for random access: a point or range
+	// lookup is one admission, and so is a whole batched lookup.
+	Lookups int64
+	// BatchLookups counts the admissions that were batches.
+	BatchLookups int64
+	// BatchKeys counts the keys served through those batches.
+	BatchKeys      int64
 	RecordsRead    int64
 	RecordsScanned int64
 	RemoteFetches  int64
@@ -67,6 +86,8 @@ type Snapshot struct {
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
 		Lookups:        s.Lookups - o.Lookups,
+		BatchLookups:   s.BatchLookups - o.BatchLookups,
+		BatchKeys:      s.BatchKeys - o.BatchKeys,
 		RecordsRead:    s.RecordsRead - o.RecordsRead,
 		RecordsScanned: s.RecordsScanned - o.RecordsScanned,
 		RemoteFetches:  s.RemoteFetches - o.RemoteFetches,
@@ -79,6 +100,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
 		Lookups:        s.Lookups + o.Lookups,
+		BatchLookups:   s.BatchLookups + o.BatchLookups,
+		BatchKeys:      s.BatchKeys + o.BatchKeys,
 		RecordsRead:    s.RecordsRead + o.RecordsRead,
 		RecordsScanned: s.RecordsScanned + o.RecordsScanned,
 		RemoteFetches:  s.RemoteFetches + o.RemoteFetches,
@@ -93,6 +116,7 @@ func (s Snapshot) RecordAccesses() int64 { return s.RecordsRead + s.RecordsScann
 
 // String renders the snapshot compactly for harness output.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("lookups=%d read=%d scanned=%d remote=%d bytes=%d appends=%d",
-		s.Lookups, s.RecordsRead, s.RecordsScanned, s.RemoteFetches, s.BytesRead, s.Appends)
+	return fmt.Sprintf("lookups=%d batches=%d batchkeys=%d read=%d scanned=%d remote=%d bytes=%d appends=%d",
+		s.Lookups, s.BatchLookups, s.BatchKeys, s.RecordsRead, s.RecordsScanned,
+		s.RemoteFetches, s.BytesRead, s.Appends)
 }

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLookupBatchAmortizedCost: a batch of n keys pays one full
+// LookupLatency plus (n-1) marginal BatchPerKey costs and, when remote, one
+// RTT — not n of each. Lower bounds only; wall-clock upper bounds flake.
+func TestLookupBatchAmortizedCost(t *testing.T) {
+	m := CostModel{
+		LookupLatency: 4 * time.Millisecond,
+		BatchPerKey:   1 * time.Millisecond,
+		NetworkRTT:    3 * time.Millisecond,
+		Spindles:      1,
+	}
+	g := NewGate(m)
+	ctx := context.Background()
+
+	start := time.Now()
+	if err := g.LookupBatch(ctx, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if d, want := time.Since(start), 8*time.Millisecond; d < want {
+		t.Errorf("local batch of 5 took %v, want >= %v", d, want)
+	}
+
+	start = time.Now()
+	if err := g.LookupBatch(ctx, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	if d, want := time.Since(start), 11*time.Millisecond; d < want {
+		t.Errorf("remote batch of 5 took %v, want >= %v", d, want)
+	}
+}
+
+func TestLookupBatchNilAndEmpty(t *testing.T) {
+	var g *Gate
+	if err := g.LookupBatch(context.Background(), 100, true); err != nil {
+		t.Fatalf("nil gate: %v", err)
+	}
+	real := NewGate(CostModel{LookupLatency: time.Hour, Spindles: 1})
+	start := time.Now()
+	if err := real.LookupBatch(context.Background(), 0, false); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("empty batch paid for admission")
+	}
+}

@@ -30,6 +30,12 @@ type CostModel struct {
 	// NetworkRTT is added when the requesting node differs from the node
 	// owning the partition.
 	NetworkRTT time.Duration
+	// BatchPerKey is the marginal latency charged for each key after the
+	// first in a batched lookup (LookupBatch): the head of the batch pays
+	// the full LookupLatency seek, and the sorted keys behind it ride the
+	// same arm movement (seek amortization, as in a drive's native command
+	// queueing or an LSM multi-get). Zero means marginal keys are free.
+	BatchPerKey time.Duration
 	// QueueDepth bounds the number of concurrent I/Os a node's storage
 	// path admits (the paper configures nr_request/queue_depth = 1008 on
 	// each data drive array). Zero means unbounded admission.
@@ -46,7 +52,7 @@ type CostModel struct {
 // skip admission entirely.
 func (m CostModel) Zero() bool {
 	return m.LookupLatency == 0 && m.ScanPerRecord == 0 && m.NetworkRTT == 0 &&
-		m.QueueDepth == 0 && m.Spindles == 0
+		m.BatchPerKey == 0 && m.QueueDepth == 0 && m.Spindles == 0
 }
 
 // HDDProfile returns the cost model used by the benchmark harnesses: a
@@ -62,6 +68,7 @@ func HDDProfile() CostModel {
 		LookupLatency: 400 * time.Microsecond,
 		ScanPerRecord: 20 * time.Microsecond,
 		NetworkRTT:    100 * time.Microsecond,
+		BatchPerKey:   50 * time.Microsecond,
 		QueueDepth:    1008,
 		Spindles:      24,
 	}
@@ -99,6 +106,26 @@ func (g *Gate) Lookup(ctx context.Context, remote bool) error {
 		return ctx.Err()
 	}
 	d := g.model.LookupLatency
+	if remote {
+		d += g.model.NetworkRTT
+	}
+	return g.occupy(ctx, d)
+}
+
+// LookupBatch charges a batch of n point lookups served as ONE admitted
+// I/O: the batch takes a single queue slot and a single spindle, pays the
+// full LookupLatency for its first key plus BatchPerKey for each key after
+// it, and — being one network message — at most one NetworkRTT when remote.
+// This is the storage half of the executor's pointer batching: per-key
+// admission overhead is replaced by a marginal seek cost.
+func (g *Gate) LookupBatch(ctx context.Context, n int, remote bool) error {
+	if g == nil {
+		return ctx.Err()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	d := g.model.LookupLatency + time.Duration(n-1)*g.model.BatchPerKey
 	if remote {
 		d += g.model.NetworkRTT
 	}

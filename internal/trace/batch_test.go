@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchCounters(t *testing.T) {
+	tr := testTrace()
+	tr.AddBatch(0, 1)
+	tr.AddBatch(0, 7)
+	tr.AddBatchSplit(0)
+
+	s := tr.Snapshot(nil)
+	st := s.Stages[0]
+	if st.Batches != 2 || st.BatchedPtrs != 8 || st.BatchSplits != 1 {
+		t.Errorf("stage 0 batch stats = %+v", st)
+	}
+	if got := st.MeanBatch(); got != 4 {
+		t.Errorf("MeanBatch = %v, want 4", got)
+	}
+	if s.Stages[1].MeanBatch() != 0 {
+		t.Errorf("stage without batches has MeanBatch %v", s.Stages[1].MeanBatch())
+	}
+	if s.TotalBatches() != 2 || s.TotalBatchedPtrs() != 8 {
+		t.Errorf("totals = %d/%d, want 2/8", s.TotalBatches(), s.TotalBatchedPtrs())
+	}
+
+	table := s.Table()
+	if !strings.Contains(table, "avgbat") || !strings.Contains(table, "4.0") {
+		t.Errorf("Table missing batch columns:\n%s", table)
+	}
+}
+
+func TestRegistryBatchTotals(t *testing.T) {
+	r := NewRegistry(4)
+	tr := New("j", []StageInfo{{Name: "d", Kind: "deref"}}, 1)
+	tr.AddBatch(0, 5)
+	tr.AddBatchSplit(0)
+	r.Add(tr.Snapshot(nil))
+
+	var b strings.Builder
+	r.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"lakeharbor_batches_total 1",
+		"lakeharbor_batched_pointers_total 5",
+		"lakeharbor_batch_splits_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -18,17 +18,20 @@ type Registry struct {
 	nextID int64
 
 	// Cumulative totals over all recorded jobs (never decremented).
-	jobs      int64
-	failed    int64
-	tasks     int64
-	emits     int64
-	retries   int64
-	errors    int64
-	slowTasks int64
-	localIO   int64
-	remoteIO  int64
-	busyNanos int64
-	wallNanos int64
+	jobs        int64
+	failed      int64
+	tasks       int64
+	emits       int64
+	retries     int64
+	errors      int64
+	slowTasks   int64
+	batches     int64
+	batchedPtrs int64
+	batchSplits int64
+	localIO     int64
+	remoteIO    int64
+	busyNanos   int64
+	wallNanos   int64
 }
 
 // DefaultRegistryCap is how many recent job snapshots a Registry keeps.
@@ -67,6 +70,9 @@ func (r *Registry) Add(s *Snapshot) {
 		r.retries += st.Retries
 		r.errors += st.Errors
 		r.slowTasks += st.SlowTasks
+		r.batches += st.Batches
+		r.batchedPtrs += st.BatchedPtrs
+		r.batchSplits += st.BatchSplits
 		r.busyNanos += int64(st.Busy)
 	}
 	for _, n := range s.Nodes {
@@ -114,6 +120,9 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	metric("lakeharbor_retries_total", "Dereferencer retries after transient failures.", r.retries)
 	metric("lakeharbor_task_errors_total", "Failed stage invocations.", r.errors)
 	metric("lakeharbor_slow_tasks_total", "Tasks exceeding the slow-task threshold.", r.slowTasks)
+	metric("lakeharbor_batches_total", "Dereference tasks dispatched (a batch may carry one pointer).", r.batches)
+	metric("lakeharbor_batched_pointers_total", "Pointers carried by dereference tasks; divide by batches for mean batch size.", r.batchedPtrs)
+	metric("lakeharbor_batch_splits_total", "Failed batches split into per-pointer retries.", r.batchSplits)
 	metric("lakeharbor_local_io_total", "Storage accesses served by the issuing node.", r.localIO)
 	metric("lakeharbor_remote_io_total", "Cross-node storage fetches.", r.remoteIO)
 	fmt.Fprintf(w, "# HELP lakeharbor_busy_seconds_total Summed task execution time.\n"+

@@ -56,7 +56,14 @@ type stageStats struct {
 	retries   atomic.Int64
 	errors    atomic.Int64
 	slowTasks atomic.Int64
-	busyNanos atomic.Int64
+	// batches counts dereference tasks dispatched and batchPtrs the
+	// pointers they carried, so batchPtrs/batches is the stage's mean
+	// batch size (1.0 when execution is unbatched). batchSplits counts
+	// batches that failed as a unit and were retried pointer-by-pointer.
+	batches     atomic.Int64
+	batchPtrs   atomic.Int64
+	batchSplits atomic.Int64
+	busyNanos   atomic.Int64
 	// firstStart and lastEnd are unix nanos; 0 means "no task yet".
 	firstStart atomic.Int64
 	lastEnd    atomic.Int64
@@ -158,6 +165,17 @@ func (t *Trace) AddEmits(stage, n int) { t.stages[stage].emits.Add(int64(n)) }
 // AddRetry records one Dereferencer retry on the stage.
 func (t *Trace) AddRetry(stage int) { t.stages[stage].retries.Add(1) }
 
+// AddBatch records one dereference task carrying n pointers on the stage.
+func (t *Trace) AddBatch(stage, n int) {
+	s := &t.stages[stage]
+	s.batches.Add(1)
+	s.batchPtrs.Add(int64(n))
+}
+
+// AddBatchSplit records one batch that failed as a unit and fell back to
+// per-pointer execution on the stage.
+func (t *Trace) AddBatchSplit(stage int) { t.stages[stage].batchSplits.Add(1) }
+
 // AddError records one failed invocation on the stage.
 func (t *Trace) AddError(stage int) { t.stages[stage].errors.Add(1) }
 
@@ -224,6 +242,15 @@ type StageSnapshot struct {
 	Errors int64 `json:"errors"`
 	// SlowTasks counts tasks exceeding the slow-task threshold.
 	SlowTasks int64 `json:"slowTasks,omitempty"`
+	// Batches counts the dereference tasks the stage dispatched; each
+	// carried one or more coalesced pointers.
+	Batches int64 `json:"batches,omitempty"`
+	// BatchedPtrs counts the pointers carried by those tasks, so
+	// BatchedPtrs/Batches is the stage's mean batch size.
+	BatchedPtrs int64 `json:"batchedPtrs,omitempty"`
+	// BatchSplits counts batches that failed as a unit and were retried
+	// pointer-by-pointer.
+	BatchSplits int64 `json:"batchSplits,omitempty"`
 	// Busy is the summed duration of the stage's tasks.
 	Busy time.Duration `json:"busy"`
 	// Wall is the span from the stage's first task start to its last task
@@ -269,16 +296,19 @@ func (t *Trace) Snapshot(err error) *Snapshot {
 			}
 		}
 		s.Stages[i] = StageSnapshot{
-			Stage:     i,
-			Name:      st.info.Name,
-			Kind:      st.info.Kind,
-			Tasks:     st.tasks.Load(),
-			Emits:     st.emits.Load(),
-			Retries:   st.retries.Load(),
-			Errors:    st.errors.Load(),
-			SlowTasks: st.slowTasks.Load(),
-			Busy:      time.Duration(st.busyNanos.Load()),
-			Wall:      wall,
+			Stage:       i,
+			Name:        st.info.Name,
+			Kind:        st.info.Kind,
+			Tasks:       st.tasks.Load(),
+			Emits:       st.emits.Load(),
+			Retries:     st.retries.Load(),
+			Errors:      st.errors.Load(),
+			SlowTasks:   st.slowTasks.Load(),
+			Batches:     st.batches.Load(),
+			BatchedPtrs: st.batchPtrs.Load(),
+			BatchSplits: st.batchSplits.Load(),
+			Busy:        time.Duration(st.busyNanos.Load()),
+			Wall:        wall,
 		}
 	}
 	for i := range t.nodes {
@@ -308,11 +338,16 @@ func (s *Snapshot) Table() string {
 		fmt.Fprintf(&b, " FAILED: %s", s.Err)
 	}
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "%5s %-5s %-34s %9s %9s %7s %6s %12s %12s\n",
-		"stage", "kind", "name", "tasks", "emits", "retries", "slow", "busy", "wall")
+	fmt.Fprintf(&b, "%5s %-5s %-34s %9s %9s %7s %7s %6s %7s %6s %12s %12s\n",
+		"stage", "kind", "name", "tasks", "emits", "batches", "avgbat", "splits", "retries", "slow", "busy", "wall")
 	for _, st := range s.Stages {
-		fmt.Fprintf(&b, "%5d %-5s %-34s %9d %9d %7d %6d %12s %12s\n",
-			st.Stage, st.Kind, st.Name, st.Tasks, st.Emits, st.Retries, st.SlowTasks,
+		avg := "-"
+		if st.Batches > 0 {
+			avg = fmt.Sprintf("%.1f", st.MeanBatch())
+		}
+		fmt.Fprintf(&b, "%5d %-5s %-34s %9d %9d %7d %7s %6d %7d %6d %12s %12s\n",
+			st.Stage, st.Kind, st.Name, st.Tasks, st.Emits, st.Batches, avg,
+			st.BatchSplits, st.Retries, st.SlowTasks,
 			st.Busy.Round(time.Microsecond), st.Wall.Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, "%5s %9s %9s %9s %9s\n", "node", "maxqueue", "workers", "localIO", "remoteIO")
@@ -321,6 +356,34 @@ func (s *Snapshot) Table() string {
 			n.Node, n.QueueHighWater, n.WorkersSpawned, n.LocalIO, n.RemoteIO)
 	}
 	return b.String()
+}
+
+// MeanBatch returns the stage's mean pointers per dereference task, or 0
+// when the stage dispatched no dereference tasks.
+func (st StageSnapshot) MeanBatch() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.BatchedPtrs) / float64(st.Batches)
+}
+
+// TotalBatches sums the per-stage dereference-task counts.
+func (s *Snapshot) TotalBatches() int64 {
+	var total int64
+	for _, st := range s.Stages {
+		total += st.Batches
+	}
+	return total
+}
+
+// TotalBatchedPtrs sums the pointers carried by dereference tasks across
+// all stages; TotalBatchedPtrs/TotalBatches is the job's mean batch size.
+func (s *Snapshot) TotalBatchedPtrs() int64 {
+	var total int64
+	for _, st := range s.Stages {
+		total += st.BatchedPtrs
+	}
+	return total
 }
 
 // TotalTasks sums the per-stage task counts.
