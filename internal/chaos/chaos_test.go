@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/sim"
+)
+
+func testTarget() Target {
+	return Target{
+		Nodes: 3,
+		Files: []FileInfo{{Name: "a", Partitions: 4}, {Name: "b", Partitions: 6}},
+	}
+}
+
+// TestCompileDeterministic is the foundation of reproduce-from-seed: the
+// same seed must always compile to the identical schedule, and nearby seeds
+// must not all collapse to the same one.
+func TestCompileDeterministic(t *testing.T) {
+	tgt := testTarget()
+	a := Compile(42, tgt, Profile{})
+	b := Compile(42, tgt, Profile{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	distinct := false
+	for seed := int64(1); seed <= 20; seed++ {
+		if !reflect.DeepEqual(Compile(seed, tgt, Profile{}), a) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Error("20 different seeds all compiled to the same schedule")
+	}
+	// Heal budgets stay within the profile cap (the oracle's MaxRetries
+	// sizing depends on it).
+	prof := DefaultProfile()
+	for seed := int64(0); seed < 50; seed++ {
+		s := Compile(seed, tgt, prof)
+		for _, f := range s.Faults {
+			if f.Heals < 1 || f.Heals > prof.MaxHeals {
+				t.Fatalf("seed %d: fault heals = %d, want 1..%d", seed, f.Heals, prof.MaxHeals)
+			}
+		}
+	}
+}
+
+// TestArmDisarmRoundTrip checks an armed fault actually fires with a
+// retryable error, heals after its budget, and that Disarm clears whatever
+// is still pending.
+func TestArmDisarmRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2, Cost: sim.CostModel{LookupLatency: time.Nanosecond, QueueDepth: 8}})
+	f, err := c.CreateFile("a", dfs.Btree, 2, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keycodec.Int64(1)
+	if err := f.Append(ctx, 0, lake.Record{Key: k, Data: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := &Schedule{
+		Seed:     7,
+		Faults:   []Fault{{File: "a", Partition: 0, Heals: 2}},
+		Delays:   []Delay{{Node: 0, FromCall: 1, ToCall: 10, Factor: 2}},
+		Squeezes: []Squeeze{{Node: 1, Slots: 3}},
+	}
+	armed, err := s.Arm(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, err := f.Lookup(ctx, 0, k)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("access %d: err = %v, want ErrInjected", i, err)
+		}
+		if lake.IsPermanent(err) {
+			t.Fatalf("injected fault is permanent — the executor would never retry it")
+		}
+	}
+	if _, err := f.Lookup(ctx, 0, k); err != nil {
+		t.Fatalf("fault did not heal after its budget: %v", err)
+	}
+	armed.Disarm()
+	armed.Disarm() // idempotent
+
+	// After disarm: the squeeze released its slots and the hook is gone.
+	if n, rel := c.NodeGate(1).Hold(3); n != 3 {
+		t.Errorf("after disarm Hold(3) on squeezed node took %d, want 3", n)
+	} else {
+		rel()
+	}
+
+	// Re-arming a fresh schedule still works (fault partition reusable).
+	armed2, err := (&Schedule{Seed: 8, Faults: []Fault{{File: "a", Partition: 0, Heals: 1}}}).Arm(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Lookup(ctx, 0, k); !errors.Is(err, ErrInjected) {
+		t.Fatalf("re-armed fault did not fire: %v", err)
+	}
+	armed2.Disarm()
+	if _, err := f.Lookup(ctx, 0, k); err != nil {
+		t.Fatalf("disarm left a fault pending: %v", err)
+	}
+}
+
+// TestArmUnknownFileFails checks a schedule naming a missing file reports
+// the arming error instead of silently skipping the fault.
+func TestArmUnknownFileFails(t *testing.T) {
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	s := &Schedule{Seed: 1, Faults: []Fault{{File: "ghost", Partition: 0, Heals: 1}}}
+	if _, err := s.Arm(c); err == nil {
+		t.Fatal("arming a fault on a missing file succeeded")
+	}
+}
+
+// TestArmOnFreeClusterSkipsGateEvents checks latency and squeeze events are
+// no-ops on a cost-free cluster (nil gates) while faults still arm.
+func TestArmOnFreeClusterSkipsGateEvents(t *testing.T) {
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	f, err := c.CreateFile("a", dfs.Heap, 1, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{
+		Seed:     3,
+		Faults:   []Fault{{File: "a", Partition: 0, Heals: 1}},
+		Delays:   []Delay{{Node: 0, FromCall: 1, ToCall: 5, Factor: 100}},
+		Squeezes: []Squeeze{{Node: 0, Slots: 4}},
+	}
+	armed, err := s.Arm(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer armed.Disarm()
+	if _, err := f.Lookup(ctx, 0, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault on free cluster did not fire: %v", err)
+	}
+}
+
+// TestShrinkFindsMinimalRepro drives the shrinker with a synthetic failure
+// that depends on exactly one fault out of a busy schedule: the result must
+// contain just that fault.
+func TestShrinkFindsMinimalRepro(t *testing.T) {
+	s := Compile(1234, testTarget(), Profile{FaultProb: 1, MaxHeals: 3, BrownoutProb: 1, SpikeProb: 1, MaxSpike: time.Millisecond, SqueezeProb: 1})
+	if s.Events() < 10 {
+		t.Fatalf("dense profile compiled only %d events", s.Events())
+	}
+	culprit := Fault{File: "b", Partition: 3}
+	calls := 0
+	fails := func(cand *Schedule) bool {
+		calls++
+		for _, f := range cand.Faults {
+			if f.File == culprit.File && f.Partition == culprit.Partition {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(s, fails)
+	if min.Events() != 1 || len(min.Faults) != 1 {
+		t.Fatalf("shrunk to %d events (%s), want exactly the culprit fault", min.Events(), min)
+	}
+	if min.Faults[0].File != culprit.File || min.Faults[0].Partition != culprit.Partition {
+		t.Fatalf("shrunk to wrong event: %s", min)
+	}
+	if calls == 0 {
+		t.Fatal("predicate never invoked")
+	}
+	// A failure independent of chaos shrinks to the empty schedule.
+	empty := Shrink(s, func(*Schedule) bool { return true })
+	if empty.Events() != 0 {
+		t.Fatalf("chaos-independent failure shrank to %d events, want 0", empty.Events())
+	}
+	// A failure needing TWO events keeps both.
+	two := Shrink(s, func(cand *Schedule) bool {
+		hasFault := false
+		for _, f := range cand.Faults {
+			if f.File == "a" && f.Partition == 0 {
+				hasFault = true
+			}
+		}
+		return hasFault && len(cand.Squeezes) > 0
+	})
+	if len(two.Faults) != 1 || len(two.Squeezes) != 1 || two.Events() != 2 {
+		t.Fatalf("two-event failure shrank to %s", two)
+	}
+}
+
+// TestScheduleStringMentionsEverything keeps the repro line informative.
+func TestScheduleStringMentionsEverything(t *testing.T) {
+	s := &Schedule{
+		Seed:     9,
+		Faults:   []Fault{{File: "a", Partition: 1, Heals: 2}},
+		Delays:   []Delay{{Node: 0, FromCall: 1, ToCall: 3, Add: time.Millisecond, Factor: 1}, {Node: 1, FromCall: 5, ToCall: 50, Factor: 4}},
+		Squeezes: []Squeeze{{Node: 2, Slots: 6}},
+	}
+	str := s.String()
+	for _, want := range []string{"seed=9", "fault:a/1×2", "spike:n0", "brownout:n1", "squeeze:n2-6"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+	if got := s.TotalHeals(); got != 2 {
+		t.Errorf("TotalHeals = %d, want 2", got)
+	}
+}

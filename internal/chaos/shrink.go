@@ -1,0 +1,99 @@
+package chaos
+
+// The shrinker reduces a failing schedule to a minimal reproduction. When
+// the oracle finds a seed whose chaos run diverges, the raw schedule may
+// carry a dozen events of which one or two actually matter; Shrink runs the
+// failure predicate against ever-smaller subsets (delta debugging, ddmin)
+// until no single event can be removed without the failure disappearing.
+// A divergence that shrinks to the EMPTY schedule is itself diagnostic: the
+// bug does not depend on injected chaos at all.
+
+// event is one schedule entry of any kind, for uniform subset handling.
+type event struct {
+	fault   *Fault
+	delay   *Delay
+	squeeze *Squeeze
+}
+
+func flatten(s *Schedule) []event {
+	evs := make([]event, 0, s.Events())
+	for i := range s.Faults {
+		evs = append(evs, event{fault: &s.Faults[i]})
+	}
+	for i := range s.Delays {
+		evs = append(evs, event{delay: &s.Delays[i]})
+	}
+	for i := range s.Squeezes {
+		evs = append(evs, event{squeeze: &s.Squeezes[i]})
+	}
+	return evs
+}
+
+func rebuild(seed int64, evs []event) *Schedule {
+	s := &Schedule{Seed: seed}
+	for _, e := range evs {
+		switch {
+		case e.fault != nil:
+			s.Faults = append(s.Faults, *e.fault)
+		case e.delay != nil:
+			s.Delays = append(s.Delays, *e.delay)
+		case e.squeeze != nil:
+			s.Squeezes = append(s.Squeezes, *e.squeeze)
+		}
+	}
+	return s
+}
+
+// Shrink returns a minimal sub-schedule for which fails still reports true.
+// fails must be deterministic enough to re-observe the failure when its
+// cause is still armed (the oracle re-runs the whole differential check).
+// If the failure reproduces with no events at all, the empty schedule is
+// returned immediately. fails is invoked O(n log n)–O(n²) times for n
+// events; schedules are small (tens of events), so this stays cheap
+// relative to one oracle scenario.
+func Shrink(s *Schedule, fails func(*Schedule) bool) *Schedule {
+	events := flatten(s)
+	if len(events) == 0 {
+		return s
+	}
+	if empty := rebuild(s.Seed, nil); fails(empty) {
+		return empty
+	}
+	// ddmin: partition into n chunks; try each complement (drop one chunk);
+	// on success recurse on the reduced set, else refine granularity.
+	n := 2
+	for len(events) >= 2 {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(events); start += chunk {
+			end := start + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			complement := make([]event, 0, len(events)-(end-start))
+			complement = append(complement, events[:start]...)
+			complement = append(complement, events[end:]...)
+			if len(complement) == 0 {
+				continue // the empty schedule was already tested
+			}
+			if fails(rebuild(s.Seed, complement)) {
+				events = complement
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break // single-event granularity exhausted: minimal
+			}
+			n *= 2
+			if n > len(events) {
+				n = len(events)
+			}
+		}
+	}
+	return rebuild(s.Seed, events)
+}

@@ -1,0 +1,45 @@
+package core
+
+import "sync"
+
+// Failpoints deliberately break the executor at named internal sites. They
+// exist for exactly one purpose: the differential oracle (internal/oracle)
+// proves it can catch executor bugs by arming a failpoint, running a
+// scenario, and requiring a divergence report. Production code never arms
+// them; the zero state is "all off" and checking an unarmed failpoint is a
+// single RLock on an empty map.
+//
+// Known failpoints:
+//
+//   - FailpointDropTailFlush: the task-scoped pointer batcher skips its
+//     end-of-task flush, silently dropping every pointer still buffered
+//     below MaxBatch — the exact bug class batching introduced (a stranded
+//     tail) and the oracle must detect as missing rows.
+const FailpointDropTailFlush = "drop-tail-flush"
+
+var (
+	failpointMu sync.RWMutex
+	failpoints  map[string]bool
+)
+
+// SetFailpoint arms (on=true) or clears a named failpoint. Tests that arm a
+// failpoint must clear it before finishing; t.Cleanup is the natural place.
+func SetFailpoint(name string, on bool) {
+	failpointMu.Lock()
+	defer failpointMu.Unlock()
+	if failpoints == nil {
+		failpoints = make(map[string]bool)
+	}
+	if on {
+		failpoints[name] = true
+	} else {
+		delete(failpoints, name)
+	}
+}
+
+// failpoint reports whether the named failpoint is armed.
+func failpoint(name string) bool {
+	failpointMu.RLock()
+	defer failpointMu.RUnlock()
+	return len(failpoints) != 0 && failpoints[name]
+}

@@ -110,10 +110,10 @@ func TestFailedJobLeavesNoGoroutines(t *testing.T) {
 func TestPermanentErrorNotRetried(t *testing.T) {
 	fx := newFixture(t, 1, 2, 1)
 	for name, mkErr := range map[string]func() error{
-		"marked":    func() error { return lake.AsPermanent(fmt.Errorf("bad pointer")) },
-		"wrapped":   func() error { return fmt.Errorf("deref: %w", lake.AsPermanent(fmt.Errorf("bad pointer"))) },
-		"no-file":   func() error { return fmt.Errorf("%w: %q", lake.ErrNoSuchFile, "gone") },
-		"bad-part":  func() error { return fmt.Errorf("%w: 99", lake.ErrNoSuchPartition) },
+		"marked":   func() error { return lake.AsPermanent(fmt.Errorf("bad pointer")) },
+		"wrapped":  func() error { return fmt.Errorf("deref: %w", lake.AsPermanent(fmt.Errorf("bad pointer"))) },
+		"no-file":  func() error { return fmt.Errorf("%w: %q", lake.ErrNoSuchFile, "gone") },
+		"bad-part": func() error { return fmt.Errorf("%w: 99", lake.ErrNoSuchPartition) },
 	} {
 		var attempts atomic.Int64
 		job, err := NewJob("perm",

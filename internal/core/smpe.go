@@ -219,10 +219,16 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 
 	// Seed the initial stage. Seeds without partition information are
 	// broadcast; routed seeds start on the node owning their partition.
-	// Enqueueing spawns the first workers.
+	// Enqueueing spawns the first workers. A sentinel in-flight unit is held
+	// across the loop: without it, a first seed processed to completion
+	// before the second is dispatched would drive the in-flight counter to
+	// zero, declare the job done, and drop every later seed's work at queue
+	// close — a wrong (partial) result with no error.
+	e.inflight.Add(1)
 	for _, seed := range job.Seeds {
 		e.enqueuePointer(0 /* fromNode: seeds route to their owner */, 0, seed, true)
 	}
+	e.finishN(1)
 
 	// Wait for global completion or failure, then stop the pools.
 	select {
@@ -237,6 +243,14 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 
 	if err := e.firstErr(); err != nil {
 		return nil, fmt.Errorf("core: job %q: %w", job.Name, err)
+	}
+	// Task-accounting invariant ("inflight returns to zero"): on a
+	// successful run every dispatched pointer and record has been balanced
+	// by a finishN. A residue here means tasks leaked or were double
+	// counted — a wrong-completion bug the chaos oracle checks for — so a
+	// successful-looking job with a residue must fail loudly instead.
+	if n := e.inflight.Load(); n != 0 {
+		return nil, fmt.Errorf("core: job %q: task accounting leak: %d in-flight after completion", job.Name, n)
 	}
 
 	snap := e.tr.Snapshot(nil)
@@ -477,6 +491,13 @@ func (b *batcher) add(stage int, ptr lake.Pointer) {
 // flush dispatches every partial buffer. It MUST run before the producing
 // task is marked finished.
 func (b *batcher) flush() {
+	if len(b.bufs) > 0 && failpoint(FailpointDropTailFlush) {
+		// Deliberate bug for the differential oracle: strand the tail.
+		for k := range b.bufs {
+			delete(b.bufs, k)
+		}
+		return
+	}
 	for k, ptrs := range b.bufs {
 		b.e.dispatch(b.node, task{stage: k.stage, ptrs: ptrs})
 		delete(b.bufs, k)

@@ -208,10 +208,15 @@ func BenchmarkQueue(b *testing.B) {
 func TestRetryHealsTransientFaults(t *testing.T) {
 	fx := newFixture(t, 2, 10, 2)
 	boom := fmt.Errorf("flaky disk")
-	// Every partition of lineitem fails its next 2 accesses, then heals.
+	// Every partition of lineitem fails its accesses for a long while. The
+	// budget must outlive the batch-split fallback: a batched access
+	// consumes one heal unit per key (fault-injection parity with the
+	// unbatched path), so a tiny budget would be exhausted by the failed
+	// batch itself and the per-pointer split would then succeed with no
+	// retries configured at all.
 	lif, _ := fx.cluster.File(fLine)
 	for p := 0; p < lif.NumPartitions(); p++ {
-		if err := fx.cluster.SetTransientFault(fLine, p, boom, 2); err != nil {
+		if err := fx.cluster.SetTransientFault(fLine, p, boom, 1000); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -219,6 +224,9 @@ func TestRetryHealsTransientFaults(t *testing.T) {
 	// Without retries the job fails.
 	if _, err := ExecuteSMPE(fx.ctx, job, fx.cluster, fx.cluster, Options{}); err == nil {
 		t.Fatal("transient faults without retries should fail the job")
+	}
+	for p := 0; p < lif.NumPartitions(); p++ {
+		fx.cluster.SetFault(fLine, p, nil) // clear the long fault
 	}
 	// Reset the faults (the failed run consumed an unknown share).
 	for p := 0; p < lif.NumPartitions(); p++ {

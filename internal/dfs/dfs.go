@@ -194,6 +194,16 @@ func (c *Cluster) FileNames() []string {
 // OwnerNode returns the node hosting the given partition.
 func (c *Cluster) OwnerNode(partition int) int { return partition % len(c.nodes) }
 
+// NodeGate returns node i's I/O gate, or nil when the cluster's cost model
+// is free (a free gate admits everything instantly and has nothing to hook).
+// Chaos injection uses it to install latency overrides and queue squeezes.
+func (c *Cluster) NodeGate(i int) *sim.Gate {
+	if i < 0 || i >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[i].gate
+}
+
 // SetFault injects err into every access to the named file's partition
 // (err == nil clears it). It exists for failure-injection tests.
 func (c *Cluster) SetFault(name string, partition int, err error) error {
@@ -282,17 +292,26 @@ type partition struct {
 
 // takeFault reports the partition's current fault (if any) and consumes one
 // unit of a transient fault's budget.
-func (p *partition) takeFault() error {
+func (p *partition) takeFault() error { return p.takeFaultN(1) }
+
+// takeFaultN is takeFault for a batched access touching n keys: a transient
+// fault's budget is consumed once per key, not once per batch admission, so
+// a batched run heals a fault after the same number of key accesses as an
+// unbatched run of the same job (fault-injection parity across MaxBatch
+// settings). A budget smaller than n is exhausted, not driven negative.
+func (p *partition) takeFaultN(n int) error {
 	p.faultMu.Lock()
 	defer p.faultMu.Unlock()
-	if p.fault == nil {
+	if p.fault == nil || n <= 0 {
 		return nil
 	}
 	err := p.fault
 	if p.faultBudget > 0 {
-		p.faultBudget--
-		if p.faultBudget == 0 {
+		if n >= p.faultBudget {
+			p.faultBudget = 0
 			p.fault = nil
+		} else {
+			p.faultBudget -= n
 		}
 	}
 	return err
@@ -342,8 +361,10 @@ func (f *file) admit(ctx context.Context, owner *node, scan bool, n int) error {
 // ONE gate admission — the cost model charges full latency for the first
 // key and the marginal BatchPerKey for every key after it (seek
 // amortization) — and, when the caller is remote, the batch is priced as a
-// single network message. The per-batch fault and I/O attribution mirror
-// that: one takeFault consumption, one local/remote observation.
+// single network message. I/O attribution mirrors that (one local/remote
+// observation), but a transient fault's heal budget is consumed per KEY —
+// the batch stands in for len(keys) point lookups, so batched and unbatched
+// runs of the same job consume an injected fault identically.
 func (f *file) LookupBatch(ctx context.Context, partitionIdx int, keys []lake.Key) ([][]lake.Record, error) {
 	if len(keys) == 0 {
 		return nil, nil
@@ -364,7 +385,7 @@ func (f *file) LookupBatch(ctx context.Context, partitionIdx int, keys []lake.Ke
 	if err := owner.gate.LookupBatch(ctx, len(keys), remote); err != nil {
 		return nil, err
 	}
-	if err := p.takeFault(); err != nil {
+	if err := p.takeFaultN(len(keys)); err != nil {
 		return nil, fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
 	}
 	p.mu.RLock()

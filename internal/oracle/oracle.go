@@ -1,0 +1,229 @@
+// Package oracle is the differential query oracle for the SMPE executor:
+// one seed generates a random cluster, dataset, and multi-stage job, and
+// the job is executed four ways — SMPE batched, SMPE unbatched, SMPE under
+// an armed chaos schedule, and an independent baseline scan engine (the
+// expected answer). Any difference in the result multiset, any per-stage
+// emit-count disagreement between the SMPE arms, or any violated trace
+// invariant is a reported divergence that reproduces from the seed alone;
+// a chaos-arm divergence is additionally shrunk (chaos.Shrink) to a
+// minimal fault schedule.
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"lakeharbor/internal/chaos"
+	"lakeharbor/internal/core"
+)
+
+// Options tunes one oracle run.
+type Options struct {
+	// Chaos enables the fourth arm: the job re-executed under a compiled,
+	// armed chaos schedule (same seed as the scenario).
+	Chaos bool
+	// Shrink reduces a chaos-arm divergence to a minimal schedule. It
+	// re-runs the chaos arm O(events²) times, so it only triggers on
+	// divergence.
+	Shrink bool
+	// Profile overrides the chaos density; zero selects
+	// chaos.DefaultProfile.
+	Profile chaos.Profile
+}
+
+// Report is the outcome of one seeded differential run.
+type Report struct {
+	// Seed reproduces everything: the scenario, the job, and the schedule.
+	Seed int64
+	// Desc summarizes the generated scenario.
+	Desc string
+	// Expected is the oracle answer's row count.
+	Expected int
+	// Failures lists every detected divergence; empty means all four arms
+	// agreed and every invariant held.
+	Failures []string
+	// Schedule is the compiled chaos schedule (nil without Options.Chaos).
+	Schedule *chaos.Schedule
+	// MinSchedule is the shrunk schedule when the chaos arm diverged and
+	// shrinking was enabled.
+	MinSchedule *chaos.Schedule
+}
+
+// Diverged reports whether any arm disagreed or broke an invariant.
+func (r *Report) Diverged() bool { return len(r.Failures) > 0 }
+
+// Repro renders the one line a failure report needs: the seed, the
+// scenario, and (when present) the minimal schedule.
+func (r *Report) Repro() string {
+	s := fmt.Sprintf("oracle: seed=%d %s", r.Seed, r.Desc)
+	if r.MinSchedule != nil {
+		s += "\n  minimal schedule: " + r.MinSchedule.String()
+	} else if r.Schedule != nil {
+		s += "\n  schedule: " + r.Schedule.String()
+	}
+	return s + fmt.Sprintf("\n  repro: go run ./cmd/chaosbench -seed %d -n 1", r.Seed)
+}
+
+// Run executes the full differential check for one seed. A non-nil error
+// means the harness itself failed (generation, context death) — divergences
+// are reported through Report.Failures, not the error.
+func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
+	sc, err := generate(ctx, seed)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: seed %d: generate: %w", seed, err)
+	}
+	rep := &Report{Seed: seed, Desc: sc.desc, Expected: sc.expectedCount}
+
+	batched := core.Options{Threads: sc.threads, MaxBatch: sc.maxBatch, KeepRecords: true}
+	unbatched := batched
+	unbatched.MaxBatch = 1
+
+	resA, errA := core.ExecuteSMPE(ctx, sc.job, sc.cluster, sc.cluster, batched)
+	rep.Failures = append(rep.Failures, checkArm("smpe-batched", sc, resA, errA, 0)...)
+	resB, errB := core.ExecuteSMPE(ctx, sc.job, sc.cluster, sc.cluster, unbatched)
+	rep.Failures = append(rep.Failures, checkArm("smpe-unbatched", sc, resB, errB, 0)...)
+
+	// Batching is an optimization, never a semantic change: the two clean
+	// arms must agree stage by stage, not only on the final multiset.
+	if errA == nil && errB == nil {
+		for i := range resA.StageEmits {
+			if resA.StageEmits[i] != resB.StageEmits[i] {
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"emit divergence: stage %d emits %d batched vs %d unbatched",
+					i, resA.StageEmits[i], resB.StageEmits[i]))
+			}
+		}
+	}
+
+	if opts.Chaos {
+		rep.Schedule = chaos.Compile(seed, sc.target, opts.Profile)
+		fails := runChaosArm(ctx, sc, rep.Schedule)
+		rep.Failures = append(rep.Failures, fails...)
+		if len(fails) > 0 && opts.Shrink {
+			rep.MinSchedule = chaos.Shrink(rep.Schedule, func(cand *chaos.Schedule) bool {
+				return len(runChaosArm(ctx, sc, cand)) > 0
+			})
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runChaosArm arms the schedule, executes the job with enough retries to
+// out-wait every injected fault, disarms, and returns the divergences.
+func runChaosArm(ctx context.Context, sc *scenario, sched *chaos.Schedule) []string {
+	armed, err := sched.Arm(sc.cluster)
+	if err != nil {
+		return []string{fmt.Sprintf("smpe-chaos: arming failed: %v", err)}
+	}
+	defer armed.Disarm()
+	maxRetries := sched.TotalHeals() + 2
+	opts := core.Options{
+		Threads:      sc.threads,
+		MaxBatch:     sc.maxBatch,
+		KeepRecords:  true,
+		MaxRetries:   maxRetries,
+		RetryBackoff: 50 * time.Microsecond,
+	}
+	res, err := core.ExecuteSMPE(ctx, sc.job, sc.cluster, sc.cluster, opts)
+	return checkArm("smpe-chaos", sc, res, err, maxRetries)
+}
+
+// checkArm diffs one arm's result against the oracle answer and verifies
+// the trace invariants the executor is supposed to uphold.
+func checkArm(arm string, sc *scenario, res *core.Result, err error, maxRetries int) []string {
+	if err != nil {
+		return []string{fmt.Sprintf("%s: execution failed: %v", arm, err)}
+	}
+	var fails []string
+	fail := func(format string, args ...any) {
+		fails = append(fails, arm+": "+fmt.Sprintf(format, args...))
+	}
+
+	// Row multiset: the core differential check.
+	got := multisetOf(res.Records)
+	fails = append(fails, diffMultisets(arm, sc.expected, got)...)
+	if res.Count != int64(len(res.Records)) {
+		fail("count %d disagrees with %d kept records", res.Count, len(res.Records))
+	}
+
+	// Trace invariants.
+	tr := res.Trace
+	last := len(tr.Stages) - 1
+	if tr.Stages[last].Emits != res.Count {
+		fail("final stage emits %d but count is %d", tr.Stages[last].Emits, res.Count)
+	}
+	for i, st := range tr.Stages {
+		if st.Errors != 0 {
+			fail("stage %d reports %d errors on a successful run", i, st.Errors)
+		}
+		if maxRetries == 0 && st.Retries != 0 {
+			fail("stage %d retried %d times with retries disabled", i, st.Retries)
+		}
+	}
+	if maxRetries > 0 {
+		if total, limit := tr.TotalRetries(), int64(maxRetries)*tr.TotalBatchedPtrs(); total > limit {
+			fail("retries %d exceed MaxRetries×pointers = %d", total, limit)
+		}
+	}
+	// Pointer conservation ("no task leaks"): every pointer a stage emits
+	// must be dereferenced by the next deref stage exactly once; seeds must
+	// all arrive at stage 0, broadcast ones once per node.
+	wantSeedPtrs := int64(sc.routedSeeds + sc.broadcastSeeds*sc.cluster.NumNodes())
+	if got := tr.Stages[0].BatchedPtrs; got != wantSeedPtrs {
+		fail("stage 0 dereferenced %d pointers, want %d (%d routed + %d broadcast × %d nodes)",
+			got, wantSeedPtrs, sc.routedSeeds, sc.broadcastSeeds, sc.cluster.NumNodes())
+	}
+	for i := 2; i < len(tr.Stages); i += 2 {
+		fanout := int64(1)
+		if f, ok := sc.ptrFanout[i]; ok {
+			fanout = int64(f)
+		}
+		if emitted, arrived := tr.Stages[i-1].Emits, tr.Stages[i].BatchedPtrs; arrived != emitted*fanout {
+			fail("stage %d dereferenced %d pointers but stage %d emitted %d×%d (leak or duplication)",
+				i, arrived, i-1, emitted, fanout)
+		}
+	}
+	return fails
+}
+
+// diffMultisets reports rows missing from / extra in got versus want, with
+// a bounded number of samples so a badly wrong run stays readable.
+func diffMultisets(arm string, want, got map[string]int) []string {
+	const maxSamples = 4
+	var missing, extra []string
+	for k, w := range want {
+		if got[k] < w {
+			missing = append(missing, fmt.Sprintf("%q ×%d", k, w-got[k]))
+		}
+	}
+	for k, g := range got {
+		if want[k] < g {
+			extra = append(extra, fmt.Sprintf("%q ×%d", k, g-want[k]))
+		}
+	}
+	if len(missing) == 0 && len(extra) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	var fails []string
+	if len(missing) > 0 {
+		fails = append(fails, fmt.Sprintf("%s: %d row(s) missing, e.g. %v", arm, len(missing), sample(missing, maxSamples)))
+	}
+	if len(extra) > 0 {
+		fails = append(fails, fmt.Sprintf("%s: %d unexpected row(s), e.g. %v", arm, len(extra), sample(extra, maxSamples)))
+	}
+	return fails
+}
+
+func sample(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
