@@ -463,3 +463,41 @@ func BenchmarkAblationSpindles(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationTimeline measures the overhead of timeline event capture
+// on the Fig. 7 query: events=on is the default (event ring + per-task
+// events), events=off disables capture with EventCap -1. The acceptance
+// budget for the observability layer is <=5% on the "on" arm; latency
+// histograms stay enabled in both arms (they are not optional).
+func BenchmarkAblationTimeline(b *testing.B) {
+	cluster, ds, _ := fig7Setup(b)
+	ctx := context.Background()
+	lo, hi := fig7Range(0.05)
+	want := ds.OracleQ5(fig7Region, lo, hi)
+	job, err := tpch.Q5Job(ctx, cluster, fig7Region, lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		cap  int
+	}{{"events=off", -1}, {"events=on", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var events, dropped float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.ExecuteSMPE(ctx, job, cluster, cluster, core.Options{EventCap: mode.cap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count != want {
+					b.Fatalf("rows = %d, want %d", res.Count, want)
+				}
+				events = float64(len(res.Trace.Events))
+				dropped = float64(res.Trace.EventsDropped)
+			}
+			b.ReportMetric(events, "events/op")
+			b.ReportMetric(dropped, "dropped/op")
+		})
+	}
+}

@@ -7,9 +7,15 @@
 // pipeline run explores fresh schedules while staying reproducible from
 // the logged seed.
 //
+// With -timeline DIR, each divergence additionally writes the failing
+// arm's event timeline as Chrome trace-event JSON (loadable in Perfetto)
+// plus a repro text file — the seed, the failures, and the (shrunk) chaos
+// schedule — into DIR, so CI can upload the artifacts of a red run.
+//
 // Usage:
 //
 //	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-shrink] [-v]
+//	    [-timeline chaos-artifacts]
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -30,6 +37,7 @@ func main() {
 		noChaos = flag.Bool("no-chaos", false, "skip the chaos arm (clean differential only)")
 		noShrnk = flag.Bool("no-shrink", false, "report chaos divergences without shrinking the schedule")
 		verbose = flag.Bool("v", false, "print every scenario, not only divergent ones")
+		tlDir   = flag.String("timeline", "", "write failing-arm timelines and repro files into this directory")
 	)
 	flag.Parse()
 
@@ -49,6 +57,9 @@ func main() {
 			diverged++
 			fmt.Fprintf(os.Stderr, "DIVERGED %s\n  %s\n",
 				rep.Repro(), strings.Join(rep.Failures, "\n  "))
+			if *tlDir != "" {
+				writeArtifacts(*tlDir, rep)
+			}
 		case *verbose:
 			fmt.Printf("ok seed=%d %s\n", s, rep.Desc)
 		}
@@ -58,4 +69,37 @@ func main() {
 	if diverged > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeArtifacts dumps a divergent report's failing-arm timeline (Chrome
+// trace JSON) and a repro text file into dir. Artifact trouble must not
+// mask the divergence itself, so errors only warn.
+func writeArtifacts(dir string, rep *oracle.Report) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+		return
+	}
+	repro := fmt.Sprintf("%s\n  arm: %s\n  %s\n",
+		rep.Repro(), rep.DivergedArm, strings.Join(rep.Failures, "\n  "))
+	reproPath := filepath.Join(dir, fmt.Sprintf("chaos_repro_seed%d.txt", rep.Seed))
+	if err := os.WriteFile(reproPath, []byte(repro), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "  wrote %s\n", reproPath)
+	}
+	if rep.DivergedTrace == nil {
+		return
+	}
+	tlPath := filepath.Join(dir, fmt.Sprintf("chaos_timeline_seed%d.json", rep.Seed))
+	f, err := os.Create(tlPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := rep.DivergedTrace.WriteChromeTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "  wrote %s\n", tlPath)
 }

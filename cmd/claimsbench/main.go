@@ -6,13 +6,19 @@
 // queried with schema-on-read — no joins). Numbers are normalized to the
 // warehouse system, as in the paper.
 //
+// With -json the per-query access counts — plus batching stats and latency
+// quantiles aggregated over the ReDe runs — are written to a file for
+// machine consumption (CI uploads it as BENCH_claims.json).
+//
 // Usage:
 //
 //	go run ./cmd/claimsbench [-claims 20000] [-nodes 4] [-seed 2024]
+//	    [-json BENCH_claims.json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,7 +28,28 @@ import (
 	"lakeharbor/internal/claims"
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/trace"
 )
+
+// queryResult is one query row of the JSON report.
+type queryResult struct {
+	Query          string  `json:"query"`
+	Claims         int     `json:"claims"`
+	Expense        int     `json:"expense"`
+	DWAccesses     int64   `json:"dwAccesses"`
+	ReDeAccesses   int64   `json:"redeAccesses"`
+	ReDeNormalized float64 `json:"redeNormalized"`
+}
+
+// jsonReport is the -json output: the figure's rows plus aggregate executor
+// stats over the ReDe arms.
+type jsonReport struct {
+	Bench     string                 `json:"bench"`
+	Config    map[string]any         `json:"config"`
+	Results   []queryResult          `json:"results"`
+	Totals    trace.Totals           `json:"totals"`
+	Latencies trace.LatencySummaries `json:"latencies"`
+}
 
 func main() {
 	var (
@@ -31,7 +58,8 @@ func main() {
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		batch    = flag.Int("batch", core.DefaultMaxBatch, "max pointers coalesced per dereference task (1 = unbatched)")
 		datalake = flag.Bool("datalake", false, "also run the full-scan data-lake arm the paper's footnote omits")
-		trace    = flag.Bool("trace", false, "print the per-stage execution trace of each ReDe run")
+		showTr   = flag.Bool("trace", false, "print the per-stage execution trace of each ReDe run")
+		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -49,6 +77,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded both systems in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	reg := trace.NewRegistry(0)
+	var results []queryResult
 
 	fmt.Printf("# Figure 9: record accesses, normalized to the warehouse system (DW = 1.00)\n")
 	fmt.Printf("%-4s %-10s %-14s %16s %16s %12s %12s\n",
@@ -70,9 +101,20 @@ func main() {
 				q.Name, wh.Claims, wh.Expense, rd.Claims, rd.Expense, wantClaims, wantExpense)
 		}
 		norm := float64(rd.RecordAccesses) / float64(wh.RecordAccesses)
+		if rd.Trace != nil {
+			reg.Add(rd.Trace)
+		}
+		results = append(results, queryResult{
+			Query:          q.Name,
+			Claims:         int(rd.Claims),
+			Expense:        int(rd.Expense),
+			DWAccesses:     int64(wh.RecordAccesses),
+			ReDeAccesses:   int64(rd.RecordAccesses),
+			ReDeNormalized: norm,
+		})
 		fmt.Printf("%-4s %-10d %-14d %16d %16d %12.2f %12.3f\n",
 			q.Name, rd.Claims, rd.Expense, wh.RecordAccesses, rd.RecordAccesses, 1.0, norm)
-		if *trace {
+		if *showTr {
 			fmt.Printf("\n# %s ReDe execution trace\n%s\n", q.Name, rd.Trace.Table())
 		}
 		if *datalake {
@@ -91,5 +133,25 @@ func main() {
 	fmt.Printf("\nqueries:\n")
 	for _, q := range claims.Queries {
 		fmt.Printf("  %s: %s\n", q.Name, q.Description)
+	}
+
+	if *jsonOut != "" {
+		rep := jsonReport{
+			Bench: "claimsbench",
+			Config: map[string]any{
+				"claims": *nClaims, "nodes": *nodes, "seed": *seed, "batch": *batch,
+			},
+			Results:   results,
+			Totals:    reg.Totals(),
+			Latencies: reg.Latencies().Summaries(),
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 }

@@ -12,6 +12,13 @@
 //	curl localhost:8080/v1/catalog
 //	curl 'localhost:8080/v1/lookup?file=orders&key=int:7'
 //	curl 'localhost:8080/v1/range?file=orders_date_idx&lo=int:0&hi=int:30&limit=5'
+//
+// Prometheus can scrape GET /debug/metrics on the same -addr (text
+// exposition format: execution counters, latency quantile summaries, and
+// storage counters); there is no separate metrics listener. Pass -pprof to
+// additionally expose the Go runtime profiler under /debug/pprof/ — it is
+// off by default because profile endpoints should not be reachable on an
+// unprotected admin port.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	"lakeharbor/internal/claims"
 	"lakeharbor/internal/dfs"
@@ -37,6 +45,7 @@ func main() {
 		nClaims  = flag.Int("claims", 10000, "number of claims")
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		enablePP = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -67,6 +76,21 @@ func main() {
 		log.Fatalf("unknown -kind %q", *kind)
 	}
 
+	var handler http.Handler = httpapi.New(cluster)
+	if *enablePP {
+		// Wrap the API in an outer mux so the profiler rides the same
+		// listener without importing pprof's side-effect registration into
+		// the API package.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Println("pprof enabled under /debug/pprof/")
+	}
 	fmt.Printf("serving LakeHarbor API on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.New(cluster)))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

@@ -11,16 +11,20 @@
 // It prints one row per selectivity with the three execution times and the
 // ReDe-vs-baseline speedup. Absolute times are simulator times; the paper's
 // claims are about the relative shape (who wins where, the crossover at
-// high selectivity).
+// high selectivity). With -json the same results — plus batching stats and
+// latency quantiles aggregated over the SMPE runs — are written to a file
+// for machine consumption (CI uploads it as BENCH_rede.json).
 //
 // Usage:
 //
 //	go run ./cmd/redebench [-sf 0.2] [-nodes 4] [-cores 16] [-threads 1000]
 //	    [-region ASIA] [-sels 0.0001,0.001,...] [-seed 1] [-free]
+//	    [-json BENCH_rede.json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,7 +38,39 @@ import (
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/sim"
 	"lakeharbor/internal/tpch"
+	"lakeharbor/internal/trace"
 )
+
+// selResult is one selectivity row of the JSON report.
+type selResult struct {
+	Selectivity float64 `json:"selectivity"`
+	Rows        int64   `json:"rows"`
+	ImpalaNs    int64   `json:"impalaNs"`
+	NoSMPENs    int64   `json:"nosmpeNs"`
+	SMPENs      int64   `json:"smpeNs"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// jsonReport is the -json output: the figure's rows plus aggregate executor
+// stats over the SMPE arms.
+type jsonReport struct {
+	Bench     string                 `json:"bench"`
+	Config    map[string]any         `json:"config"`
+	Results   []selResult            `json:"results"`
+	Totals    trace.Totals           `json:"totals"`
+	Latencies trace.LatencySummaries `json:"latencies"`
+}
+
+func writeReport(path string, rep jsonReport) {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
 
 func main() {
 	var (
@@ -47,8 +83,9 @@ func main() {
 		selsArg = flag.String("sels", "0.0001,0.001,0.01,0.05,0.1,0.3,1.0", "comma-separated selectivities")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		free    = flag.Bool("free", false, "disable the I/O cost model (functional check only)")
-		trace   = flag.Bool("trace", false, "print the per-stage execution trace of each SMPE run")
+		showTr  = flag.Bool("trace", false, "print the per-stage execution trace of each SMPE run")
 		slow    = flag.Duration("slow", 0, "flag tasks slower than this in the trace (0 = off)")
+		jsonOut = flag.String("json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -79,6 +116,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "structures built in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	eng := baseline.New(cluster, *cores)
+	reg := trace.NewRegistry(0)
+	var results []selResult
 
 	fmt.Printf("# Figure 7: TPC-H Q5' execution time vs selectivity (%s, SF=%g, %d nodes)\n",
 		*region, *sf, *nodes)
@@ -121,15 +160,37 @@ func main() {
 			log.Fatalf("sel=%g: result mismatch: impala=%d nosmpe=%d smpe=%d",
 				sel, baseRows, plain.Count, smpe.Count)
 		}
+		reg.Add(smpe.Trace)
+		results = append(results, selResult{
+			Selectivity: sel,
+			Rows:        baseRows,
+			ImpalaNs:    int64(tImpala),
+			NoSMPENs:    int64(plain.Elapsed),
+			SMPENs:      int64(smpe.Elapsed),
+			Speedup:     float64(tImpala) / float64(smpe.Elapsed),
+		})
 		fmt.Printf("%-12g %-8d %14s %16s %14s %9.1fx\n",
 			sel, baseRows,
 			tImpala.Round(time.Microsecond),
 			plain.Elapsed.Round(time.Microsecond),
 			smpe.Elapsed.Round(time.Microsecond),
 			float64(tImpala)/float64(smpe.Elapsed))
-		if *trace {
+		if *showTr {
 			fmt.Printf("\n# sel=%g SMPE execution trace\n%s\n", sel, smpe.Trace.Table())
 		}
+	}
+
+	if *jsonOut != "" {
+		writeReport(*jsonOut, jsonReport{
+			Bench: "redebench",
+			Config: map[string]any{
+				"sf": *sf, "nodes": *nodes, "cores": *cores, "threads": *threads,
+				"batch": *batch, "region": *region, "seed": *seed, "free": *free,
+			},
+			Results:   results,
+			Totals:    reg.Totals(),
+			Latencies: reg.Latencies().Summaries(),
+		})
 	}
 }
 

@@ -69,6 +69,14 @@ type Options struct {
 	// SlowTaskThreshold flags tasks slower than this in the execution
 	// trace (per-stage SlowTasks counts); 0 disables flagging.
 	SlowTaskThreshold time.Duration
+	// EventCap bounds the job's timeline event ring (task begin/end,
+	// enqueue, retry, and batch-split events with node + stage
+	// attribution, exportable as a Chrome trace via Result.Trace). 0
+	// selects trace.DefaultEventCap; a negative value disables timeline
+	// capture entirely. When a job records more events than the cap, the
+	// oldest are overwritten and the snapshot reports the dropped count,
+	// so event memory stays bounded regardless of job size.
+	EventCap int
 	// TraceLog, if non-nil, receives one log line per slow task. It must
 	// be safe for concurrent use (log.Printf is).
 	TraceLog func(format string, args ...any)
@@ -125,6 +133,9 @@ type task struct {
 	isRec bool
 	ptrs  []lake.Pointer
 	rec   lake.Record
+	// enq is the unix-nano time the task was dispatched onto a queue; the
+	// span from enq to TaskBegin is the task's queue wait.
+	enq int64
 }
 
 // weight is the task's contribution to the executor's in-flight counter:
@@ -191,6 +202,9 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 	}
 	if opts.SlowTaskThreshold > 0 {
 		e.tr.SetSlowTask(opts.SlowTaskThreshold, opts.TraceLog)
+	}
+	if opts.EventCap >= 0 {
+		e.tr.EnableEvents(opts.EventCap) // 0 selects trace.DefaultEventCap
 	}
 	n := topo.NumNodes()
 	e.queues = make([]*taskQueue, n)
@@ -322,12 +336,12 @@ func (p *nodePool) maybeSpawn() {
 		}
 		p.e.tr.WorkerSpawned(p.node)
 		p.wg.Add(1)
-		go p.worker()
+		go p.worker(int(n)) // spawn order doubles as the worker's timeline track id
 		return
 	}
 }
 
-func (p *nodePool) worker() {
+func (p *nodePool) worker(id int) {
 	defer p.wg.Done()
 	q := p.e.queues[p.node]
 	for {
@@ -337,7 +351,7 @@ func (p *nodePool) worker() {
 		if !ok {
 			return
 		}
-		p.e.process(p.tc, t)
+		p.e.process(p.tc, t, id)
 		p.e.finishN(t.weight())
 	}
 }
@@ -408,6 +422,7 @@ func (e *executor) enqueueRecord(node, stage int, rec lake.Record) {
 // queue rejected the task because the job already completed or failed.
 func (e *executor) dispatch(node int, t task) {
 	w := t.weight()
+	t.enq = time.Now().UnixNano()
 	e.inflight.Add(w)
 	ok, depth := e.queues[node].push(t)
 	if !ok {
@@ -415,6 +430,7 @@ func (e *executor) dispatch(node int, t task) {
 		return
 	}
 	e.tr.Enqueue(node, depth)
+	e.tr.Mark(trace.EvEnqueue, t.stage, node, depth)
 	e.pools[node].maybeSpawn()
 }
 
@@ -511,12 +527,22 @@ func (b *batcher) flush() {
 // flushed before process returns — i.e. before the task's weight is
 // subtracted from the in-flight counter — so batching can never let the job
 // complete with pointers still buffered.
-func (e *executor) process(tc *TaskCtx, t task) {
+func (e *executor) process(tc *TaskCtx, t task, worker int) {
 	if tc.Ctx.Err() != nil {
 		return // job already failed or cancelled; drain cheaply
 	}
 	begin := e.tr.TaskBegin(t.stage)
-	defer e.tr.TaskEnd(t.stage, begin)
+	var wait time.Duration
+	if t.enq != 0 {
+		if wait = begin.Sub(time.Unix(0, t.enq)); wait < 0 {
+			wait = 0
+		}
+		e.tr.ObserveQueueWait(wait)
+	}
+	defer func() {
+		dur := e.tr.TaskEnd(t.stage, begin)
+		e.tr.TaskEvent(t.stage, tc.Node, worker, begin, dur, wait, len(t.ptrs))
+	}()
 	stage := e.job.Stages[t.stage]
 	if t.isRec {
 		ptrs, err := stage.Ref.Ref(tc, t.rec)
@@ -596,6 +622,7 @@ func (e *executor) derefTask(tc *TaskCtx, stage int, d Dereferencer, ptrs []lake
 			return nil, err // dying job: don't grind through the split
 		}
 		e.tr.AddBatchSplit(stage)
+		e.tr.Mark(trace.EvSplit, stage, tc.Node, len(ptrs))
 	}
 	var out []lake.Record
 	for _, p := range ptrs {
@@ -629,6 +656,7 @@ func (e *executor) derefWithRetry(tc *TaskCtx, stage int, d Dereferencer, ptr la
 			}
 		}
 		e.tr.AddRetry(stage)
+		e.tr.Mark(trace.EvRetry, stage, tc.Node, 0)
 		recs, err = d.Deref(tc, ptr)
 	}
 	return recs, err

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"lakeharbor/internal/btree"
 	"lakeharbor/internal/lake"
@@ -340,21 +341,34 @@ func (f *file) part(i int) (*partition, *node, error) {
 // accounting. kindScan selects scan vs lookup pricing; n is the record count
 // for scans. When the caller's context carries an execution trace (queries
 // run through the SMPE executor), the access is also attributed to the
-// calling node's trace as local or remote I/O.
+// calling node's trace as local or remote I/O, and the observed round-trip
+// time — gate queueing plus the cost model's simulated service latency — is
+// recorded into the trace's I/O latency histograms.
 func (f *file) admit(ctx context.Context, owner *node, scan bool, n int) error {
 	remote := false
 	if caller := CallerNode(ctx); caller >= 0 && caller != owner.id {
 		remote = true
 		owner.counters.AddRemoteFetch()
 	}
-	if io := trace.IOFrom(ctx); io != nil {
+	io := trace.IOFrom(ctx)
+	if io != nil {
 		io.Observe(remote)
 	}
-	if scan {
-		return owner.gate.Scan(ctx, n, remote)
+	var t0 time.Time
+	if io != nil {
+		t0 = time.Now()
 	}
-	owner.counters.AddLookup()
-	return owner.gate.Lookup(ctx, remote)
+	var err error
+	if scan {
+		err = owner.gate.Scan(ctx, n, remote)
+	} else {
+		owner.counters.AddLookup()
+		err = owner.gate.Lookup(ctx, remote)
+	}
+	if err == nil && io != nil {
+		io.ObserveLatency(remote, time.Since(t0))
+	}
+	return err
 }
 
 // LookupBatch implements lake.BatchFile: the whole batch is served under
@@ -378,12 +392,20 @@ func (f *file) LookupBatch(ctx context.Context, partitionIdx int, keys []lake.Ke
 		remote = true
 		owner.counters.AddRemoteFetch()
 	}
-	if io := trace.IOFrom(ctx); io != nil {
+	io := trace.IOFrom(ctx)
+	if io != nil {
 		io.Observe(remote)
 	}
 	owner.counters.AddBatchLookup(len(keys))
+	var t0 time.Time
+	if io != nil {
+		t0 = time.Now()
+	}
 	if err := owner.gate.LookupBatch(ctx, len(keys), remote); err != nil {
 		return nil, err
+	}
+	if io != nil {
+		io.ObserveLatency(remote, time.Since(t0))
 	}
 	if err := p.takeFaultN(len(keys)); err != nil {
 		return nil, fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)

@@ -50,6 +50,8 @@ func New(cluster *dfs.Cluster) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/range", s.handleJobRange)
 	s.mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	s.mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
+	s.mux.HandleFunc("GET /debug/jobs/{id}/timeline", s.handleDebugJobTimeline)
+	s.mux.HandleFunc("GET /debug/jobs/{id}/critpath", s.handleDebugJobCritPath)
 	s.mux.HandleFunc("GET /debug/metrics", s.handleDebugMetrics)
 	return s
 }

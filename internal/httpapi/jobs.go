@@ -15,15 +15,18 @@ import (
 // This file adds job execution and execution-trace observability to the
 // HTTP API:
 //
-//	GET /v1/jobs/range    run a key-range job through the SMPE executor
-//	GET /debug/jobs       recent execution traces, newest first (JSON)
-//	GET /debug/jobs/{id}  one execution trace by id
-//	GET /debug/metrics    Prometheus-style text metrics (jobs + storage)
+//	GET /v1/jobs/range              run a key-range job through the SMPE executor
+//	GET /debug/jobs                 recent execution traces, newest first (JSON)
+//	GET /debug/jobs/{id}            one execution trace by id
+//	GET /debug/jobs/{id}/timeline   the job's event log as Chrome trace JSON
+//	GET /debug/jobs/{id}/critpath   top-k critical-path segments (?k=, default 5)
+//	GET /debug/metrics              Prometheus-style text metrics (jobs + storage)
 //
 // Every job executed through the server records its trace in the server's
 // registry, so /debug/jobs shows the same per-stage spans, queue high-water
 // marks, worker gauges, and local/remote I/O split that Result.Trace (and
-// the bench commands' -trace flag) expose.
+// the bench commands' -trace flag) expose. The timeline endpoint's output
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
 
 // maxJobLimit caps the records a range job returns over the wire.
 const maxJobLimit = 10000
@@ -124,21 +127,78 @@ func (s *Server) handleJobRange(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.traces.Recent())
+	// The list view strips each snapshot's event log — a ring can hold
+	// thousands of events per job, and the timeline endpoint serves them in
+	// a far more useful form.
+	full := s.traces.Recent()
+	out := make([]*trace.Snapshot, len(full))
+	for i, snap := range full {
+		slim := *snap
+		slim.Events = nil
+		out[i] = &slim
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleDebugJob(w http.ResponseWriter, r *http.Request) {
+// debugJob resolves the {id} path value to a retained snapshot, writing the
+// error response itself when it returns nil.
+func (s *Server) debugJob(w http.ResponseWriter, r *http.Request) *trace.Snapshot {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad trace id %q", r.PathValue("id")))
-		return
+		return nil
 	}
 	snap := s.traces.Get(id)
 	if snap == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("httpapi: no trace %d", id))
+		return nil
+	}
+	return snap
+}
+
+func (s *Server) handleDebugJob(w http.ResponseWriter, r *http.Request) {
+	if snap := s.debugJob(w, r); snap != nil {
+		writeJSON(w, http.StatusOK, snap)
+	}
+}
+
+// handleDebugJobTimeline serves the job's event log as Chrome trace-event
+// JSON for Perfetto / chrome://tracing.
+func (s *Server) handleDebugJobTimeline(w http.ResponseWriter, r *http.Request) {
+	snap := s.debugJob(w, r)
+	if snap == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, snap)
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteChromeTrace(w)
+}
+
+// handleDebugJobCritPath serves the job's top-k critical-path segments.
+func (s *Server) handleDebugJobCritPath(w http.ResponseWriter, r *http.Request) {
+	snap := s.debugJob(w, r)
+	if snap == nil {
+		return
+	}
+	k := 5
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
+		k, err = strconv.Atoi(ks)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad k %q", ks))
+			return
+		}
+	}
+	segs := trace.CriticalPath(snap.Events, k)
+	if segs == nil {
+		segs = []trace.CritSegment{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":           snap.Job,
+		"traceId":       snap.ID,
+		"events":        len(snap.Events),
+		"eventsDropped": snap.EventsDropped,
+		"segments":      segs,
+	})
 }
 
 // handleDebugMetrics serves Prometheus-style text metrics: cumulative job

@@ -17,6 +17,7 @@ import (
 
 	"lakeharbor/internal/chaos"
 	"lakeharbor/internal/core"
+	"lakeharbor/internal/trace"
 )
 
 // Options tunes one oracle run.
@@ -49,6 +50,12 @@ type Report struct {
 	// MinSchedule is the shrunk schedule when the chaos arm diverged and
 	// shrinking was enabled.
 	MinSchedule *chaos.Schedule
+	// DivergedArm names the first arm that diverged ("" when none did).
+	DivergedArm string
+	// DivergedTrace is the execution trace — event timeline included — of
+	// the first diverging arm, for timeline export alongside the repro. It
+	// is nil when no arm diverged or the arm failed before producing one.
+	DivergedTrace *trace.Snapshot
 }
 
 // Diverged reports whether any arm disagreed or broke an invariant.
@@ -80,10 +87,22 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 	unbatched := batched
 	unbatched.MaxBatch = 1
 
+	// note records one arm's failures and, for the first diverging arm,
+	// keeps its trace so the harness can export the failing timeline.
+	note := func(arm string, res *core.Result, fails []string) {
+		rep.Failures = append(rep.Failures, fails...)
+		if len(fails) > 0 && rep.DivergedArm == "" {
+			rep.DivergedArm = arm
+			if res != nil {
+				rep.DivergedTrace = res.Trace
+			}
+		}
+	}
+
 	resA, errA := core.ExecuteSMPE(ctx, sc.job, sc.cluster, sc.cluster, batched)
-	rep.Failures = append(rep.Failures, checkArm("smpe-batched", sc, resA, errA, 0)...)
+	note("smpe-batched", resA, checkArm("smpe-batched", sc, resA, errA, 0))
 	resB, errB := core.ExecuteSMPE(ctx, sc.job, sc.cluster, sc.cluster, unbatched)
-	rep.Failures = append(rep.Failures, checkArm("smpe-unbatched", sc, resB, errB, 0)...)
+	note("smpe-unbatched", resB, checkArm("smpe-unbatched", sc, resB, errB, 0))
 
 	// Batching is an optimization, never a semantic change: the two clean
 	// arms must agree stage by stage, not only on the final multiset.
@@ -99,11 +118,12 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 
 	if opts.Chaos {
 		rep.Schedule = chaos.Compile(seed, sc.target, opts.Profile)
-		fails := runChaosArm(ctx, sc, rep.Schedule)
-		rep.Failures = append(rep.Failures, fails...)
+		res, fails := runChaosArm(ctx, sc, rep.Schedule)
+		note("smpe-chaos", res, fails)
 		if len(fails) > 0 && opts.Shrink {
 			rep.MinSchedule = chaos.Shrink(rep.Schedule, func(cand *chaos.Schedule) bool {
-				return len(runChaosArm(ctx, sc, cand)) > 0
+				_, f := runChaosArm(ctx, sc, cand)
+				return len(f) > 0
 			})
 		}
 	}
@@ -114,11 +134,12 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 }
 
 // runChaosArm arms the schedule, executes the job with enough retries to
-// out-wait every injected fault, disarms, and returns the divergences.
-func runChaosArm(ctx context.Context, sc *scenario, sched *chaos.Schedule) []string {
+// out-wait every injected fault, disarms, and returns the arm's result
+// (nil when arming or execution failed) and divergences.
+func runChaosArm(ctx context.Context, sc *scenario, sched *chaos.Schedule) (*core.Result, []string) {
 	armed, err := sched.Arm(sc.cluster)
 	if err != nil {
-		return []string{fmt.Sprintf("smpe-chaos: arming failed: %v", err)}
+		return nil, []string{fmt.Sprintf("smpe-chaos: arming failed: %v", err)}
 	}
 	defer armed.Disarm()
 	maxRetries := sched.TotalHeals() + 2
@@ -130,7 +151,7 @@ func runChaosArm(ctx context.Context, sc *scenario, sched *chaos.Schedule) []str
 		RetryBackoff: 50 * time.Microsecond,
 	}
 	res, err := core.ExecuteSMPE(ctx, sc.job, sc.cluster, sc.cluster, opts)
-	return checkArm("smpe-chaos", sc, res, err, maxRetries)
+	return res, checkArm("smpe-chaos", sc, res, err, maxRetries)
 }
 
 // checkArm diffs one arm's result against the oracle answer and verifies

@@ -8,30 +8,42 @@ import (
 )
 
 // Registry retains the snapshots of recent jobs in a fixed-size ring and
-// accumulates cumulative totals across every job it has ever seen, so the
-// metrics endpoint exposes monotone counters even after old snapshots are
-// evicted from the ring.
+// accumulates cumulative totals (and merged latency distributions) across
+// every job it has ever seen, so the metrics endpoint exposes monotone
+// counters and stable quantiles even after old snapshots are evicted from
+// the ring.
 type Registry struct {
-	mu     sync.Mutex
-	cap    int
-	recent []*Snapshot // oldest first, len <= cap
+	mu sync.Mutex
+	// recent is a circular buffer: head indexes the oldest retained
+	// snapshot and n counts how many are held, so eviction is O(1)
+	// regardless of the ring capacity.
+	recent []*Snapshot
+	head   int
+	n      int
 	nextID int64
 
-	// Cumulative totals over all recorded jobs (never decremented).
-	jobs        int64
-	failed      int64
-	tasks       int64
-	emits       int64
-	retries     int64
-	errors      int64
-	slowTasks   int64
-	batches     int64
-	batchedPtrs int64
-	batchSplits int64
-	localIO     int64
-	remoteIO    int64
-	busyNanos   int64
-	wallNanos   int64
+	tot Totals    // cumulative over all recorded jobs (never decremented)
+	lat Latencies // merged distributions over all recorded jobs
+}
+
+// Totals is a Registry's cumulative counter set over every job it has
+// recorded, ring eviction notwithstanding.
+type Totals struct {
+	Jobs          int64         `json:"jobs"`
+	Failed        int64         `json:"failed"`
+	Tasks         int64         `json:"tasks"`
+	Emits         int64         `json:"emits"`
+	Retries       int64         `json:"retries"`
+	Errors        int64         `json:"errors"`
+	SlowTasks     int64         `json:"slowTasks"`
+	Batches       int64         `json:"batches"`
+	BatchedPtrs   int64         `json:"batchedPtrs"`
+	BatchSplits   int64         `json:"batchSplits"`
+	LocalIO       int64         `json:"localIO"`
+	RemoteIO      int64         `json:"remoteIO"`
+	EventsDropped int64         `json:"eventsDropped"`
+	Busy          time.Duration `json:"busy"`
+	Wall          time.Duration `json:"wall"`
 }
 
 // DefaultRegistryCap is how many recent job snapshots a Registry keeps.
@@ -43,51 +55,55 @@ func NewRegistry(capacity int) *Registry {
 	if capacity <= 0 {
 		capacity = DefaultRegistryCap
 	}
-	return &Registry{cap: capacity}
+	return &Registry{recent: make([]*Snapshot, capacity)}
 }
 
 // Add records a finished job's snapshot, assigns it an ID, and folds it
-// into the cumulative totals.
+// into the cumulative totals and merged latency distributions. Eviction of
+// the oldest snapshot is O(1) (a circular-index overwrite).
 func (r *Registry) Add(s *Snapshot) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
 	s.ID = r.nextID
-	if len(r.recent) == r.cap {
-		copy(r.recent, r.recent[1:])
-		r.recent[len(r.recent)-1] = s
+	if r.n < len(r.recent) {
+		r.recent[(r.head+r.n)%len(r.recent)] = s
+		r.n++
 	} else {
-		r.recent = append(r.recent, s)
+		r.recent[r.head] = s
+		r.head = (r.head + 1) % len(r.recent)
 	}
-	r.jobs++
+	r.tot.Jobs++
 	if s.Err != "" {
-		r.failed++
+		r.tot.Failed++
 	}
-	r.wallNanos += int64(s.Elapsed)
+	r.tot.Wall += s.Elapsed
 	for _, st := range s.Stages {
-		r.tasks += st.Tasks
-		r.emits += st.Emits
-		r.retries += st.Retries
-		r.errors += st.Errors
-		r.slowTasks += st.SlowTasks
-		r.batches += st.Batches
-		r.batchedPtrs += st.BatchedPtrs
-		r.batchSplits += st.BatchSplits
-		r.busyNanos += int64(st.Busy)
+		r.tot.Tasks += st.Tasks
+		r.tot.Emits += st.Emits
+		r.tot.Retries += st.Retries
+		r.tot.Errors += st.Errors
+		r.tot.SlowTasks += st.SlowTasks
+		r.tot.Batches += st.Batches
+		r.tot.BatchedPtrs += st.BatchedPtrs
+		r.tot.BatchSplits += st.BatchSplits
+		r.tot.Busy += st.Busy
 	}
 	for _, n := range s.Nodes {
-		r.localIO += n.LocalIO
-		r.remoteIO += n.RemoteIO
+		r.tot.LocalIO += n.LocalIO
+		r.tot.RemoteIO += n.RemoteIO
 	}
+	r.tot.EventsDropped += s.EventsDropped
+	r.lat = r.lat.Merge(s.Lat)
 }
 
 // Recent returns the retained snapshots, newest first.
 func (r *Registry) Recent() []*Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*Snapshot, len(r.recent))
-	for i, s := range r.recent {
-		out[len(out)-1-i] = s
+	out := make([]*Snapshot, r.n)
+	for i := 0; i < r.n; i++ {
+		out[r.n-1-i] = r.recent[(r.head+i)%len(r.recent)]
 	}
 	return out
 }
@@ -96,39 +112,62 @@ func (r *Registry) Recent() []*Snapshot {
 func (r *Registry) Get(id int64) *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, s := range r.recent {
-		if s.ID == id {
+	for i := 0; i < r.n; i++ {
+		if s := r.recent[(r.head+i)%len(r.recent)]; s.ID == id {
 			return s
 		}
 	}
 	return nil
 }
 
-// WriteMetrics renders the cumulative totals as Prometheus-style text
-// exposition (counters only; all monotone).
-func (r *Registry) WriteMetrics(w io.Writer) {
+// Totals returns the cumulative counters over every recorded job.
+func (r *Registry) Totals() Totals {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.tot
+}
+
+// Latencies returns the merged latency distributions over every recorded
+// job, for quantile queries and machine-readable bench output.
+func (r *Registry) Latencies() Latencies {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lat
+}
+
+// WriteMetrics renders the cumulative totals as Prometheus-style text
+// exposition: monotone counters plus p50/p90/p99 summaries of the merged
+// task, queue-wait, I/O round-trip, and batch-size distributions.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	r.mu.Lock()
+	tot, lat := r.tot, r.lat
+	r.mu.Unlock()
 	metric := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 		fmt.Fprintf(w, "%s %d\n", name, v)
 	}
-	metric("lakeharbor_jobs_total", "Jobs executed.", r.jobs)
-	metric("lakeharbor_jobs_failed_total", "Jobs that finished with an error.", r.failed)
-	metric("lakeharbor_tasks_total", "Executor pool tasks run.", r.tasks)
-	metric("lakeharbor_emits_total", "Stage outputs produced (records and pointers).", r.emits)
-	metric("lakeharbor_retries_total", "Dereferencer retries after transient failures.", r.retries)
-	metric("lakeharbor_task_errors_total", "Failed stage invocations.", r.errors)
-	metric("lakeharbor_slow_tasks_total", "Tasks exceeding the slow-task threshold.", r.slowTasks)
-	metric("lakeharbor_batches_total", "Dereference tasks dispatched (a batch may carry one pointer).", r.batches)
-	metric("lakeharbor_batched_pointers_total", "Pointers carried by dereference tasks; divide by batches for mean batch size.", r.batchedPtrs)
-	metric("lakeharbor_batch_splits_total", "Failed batches split into per-pointer retries.", r.batchSplits)
-	metric("lakeharbor_local_io_total", "Storage accesses served by the issuing node.", r.localIO)
-	metric("lakeharbor_remote_io_total", "Cross-node storage fetches.", r.remoteIO)
+	metric("lakeharbor_jobs_total", "Jobs executed.", tot.Jobs)
+	metric("lakeharbor_jobs_failed_total", "Jobs that finished with an error.", tot.Failed)
+	metric("lakeharbor_tasks_total", "Executor pool tasks run.", tot.Tasks)
+	metric("lakeharbor_emits_total", "Stage outputs produced (records and pointers).", tot.Emits)
+	metric("lakeharbor_retries_total", "Dereferencer retries after transient failures.", tot.Retries)
+	metric("lakeharbor_task_errors_total", "Failed stage invocations.", tot.Errors)
+	metric("lakeharbor_slow_tasks_total", "Tasks exceeding the slow-task threshold.", tot.SlowTasks)
+	metric("lakeharbor_batches_total", "Dereference tasks dispatched (a batch may carry one pointer).", tot.Batches)
+	metric("lakeharbor_batched_pointers_total", "Pointers carried by dereference tasks; divide by batches for mean batch size.", tot.BatchedPtrs)
+	metric("lakeharbor_batch_splits_total", "Failed batches split into per-pointer retries.", tot.BatchSplits)
+	metric("lakeharbor_local_io_total", "Storage accesses served by the issuing node.", tot.LocalIO)
+	metric("lakeharbor_remote_io_total", "Cross-node storage fetches.", tot.RemoteIO)
+	metric("lakeharbor_timeline_events_dropped_total", "Timeline events overwritten by full event rings.", tot.EventsDropped)
 	fmt.Fprintf(w, "# HELP lakeharbor_busy_seconds_total Summed task execution time.\n"+
 		"# TYPE lakeharbor_busy_seconds_total counter\nlakeharbor_busy_seconds_total %g\n",
-		time.Duration(r.busyNanos).Seconds())
+		tot.Busy.Seconds())
 	fmt.Fprintf(w, "# HELP lakeharbor_job_seconds_total Summed job wall time.\n"+
 		"# TYPE lakeharbor_job_seconds_total counter\nlakeharbor_job_seconds_total %g\n",
-		time.Duration(r.wallNanos).Seconds())
+		tot.Wall.Seconds())
+	lat.Task.WriteSummary(w, "lakeharbor_task_seconds", "Task service time (TaskBegin to TaskEnd).", 1e-9)
+	lat.QueueWait.WriteSummary(w, "lakeharbor_queue_wait_seconds", "Enqueue-to-start queue wait.", 1e-9)
+	lat.IOLocal.WriteSummary(w, "lakeharbor_io_local_seconds", "Observed local storage round-trip time.", 1e-9)
+	lat.IORemote.WriteSummary(w, "lakeharbor_io_remote_seconds", "Observed cross-node storage round-trip time.", 1e-9)
+	lat.Batch.WriteSummary(w, "lakeharbor_batch_size", "Pointers per dereference task.", 1)
 }

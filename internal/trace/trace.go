@@ -10,6 +10,13 @@
 // storage layer through the I/O context — how many accesses were served
 // locally versus fetched from a remote node.
 //
+// On top of the counters sits the latency-observability layer: lock-free
+// log-bucketed histograms (hist.go) record task service time, queue wait,
+// batch size, and local/remote storage round-trips, and a bounded per-job
+// event ring (events.go) captures a timeline of task/enqueue/retry/split
+// events exportable as Chrome trace-event JSON plus a critical-path
+// extractor reporting where the job's wall time went.
+//
 // All live counters are atomics: the executor updates them from thousands
 // of concurrent workers without locks, and a Snapshot can be taken at any
 // moment, including while the job is still running. A Registry keeps the
@@ -46,6 +53,21 @@ type Trace struct {
 
 	stages []stageStats
 	nodes  []nodeStats
+
+	// lat holds the job-level latency distributions (always on; recording
+	// into a lock-free histogram costs a few atomic adds per task).
+	lat latHists
+	// ring is the bounded timeline event log; nil when capture is disabled.
+	ring *EventRing
+}
+
+// latHists is the live histogram set of one job.
+type latHists struct {
+	task     Histogram // task service time, ns
+	wait     Histogram // enqueue-to-start queue wait, ns
+	batch    Histogram // pointers per dereference task
+	ioLocal  Histogram // local storage round-trip, ns
+	ioRemote Histogram // cross-node storage round-trip, ns
 }
 
 // stageStats is the live counter set of one stage.
@@ -83,6 +105,12 @@ type nodeStats struct {
 type NodeIO struct {
 	local  atomic.Int64
 	remote atomic.Int64
+	// localLat/remoteLat, when non-nil, receive the observed round-trip
+	// time of each completed access (gate admission + modeled service).
+	// They point at the owning Trace's job-level histograms, so every
+	// node's workers record into the same lock-free buckets.
+	localLat  *Histogram
+	remoteLat *Histogram
 }
 
 // Observe records one storage access.
@@ -91,6 +119,20 @@ func (n *NodeIO) Observe(remote bool) {
 		n.remote.Add(1)
 	} else {
 		n.local.Add(1)
+	}
+}
+
+// ObserveLatency attributes the observed round-trip time of one completed
+// access (queueing at the I/O gate plus modeled service time) to the job's
+// local or remote I/O latency distribution. Standalone NodeIOs (not created
+// by a Trace) ignore the duration.
+func (n *NodeIO) ObserveLatency(remote bool, d time.Duration) {
+	if remote {
+		if n.remoteLat != nil {
+			n.remoteLat.RecordDur(d)
+		}
+	} else if n.localLat != nil {
+		n.localLat.RecordDur(d)
 	}
 }
 
@@ -121,8 +163,17 @@ func New(job string, stages []StageInfo, nodes int) *Trace {
 	for i := range t.stages {
 		t.stages[i].info = stages[i]
 	}
+	for i := range t.nodes {
+		t.nodes[i].io.localLat = &t.lat.ioLocal
+		t.nodes[i].io.remoteLat = &t.lat.ioRemote
+	}
 	return t
 }
+
+// EnableEvents turns on timeline capture with a ring of the given capacity
+// (DefaultEventCap when capacity <= 0). Without it, event-recording methods
+// are no-ops and snapshots carry no Events.
+func (t *Trace) EnableEvents(capacity int) { t.ring = NewEventRing(capacity) }
 
 // SetSlowTask configures the slow-task threshold. Tasks slower than d are
 // counted per stage; when logf is non-nil each one is also logged with its
@@ -143,13 +194,16 @@ func (t *Trace) TaskBegin(stage int) time.Time {
 }
 
 // TaskEnd marks the task started at begin as finished, accumulating its
-// duration and flagging it when it exceeds the slow-task threshold.
-func (t *Trace) TaskEnd(stage int, begin time.Time) {
+// duration into the stage counters and the job's task-latency histogram and
+// flagging it when it exceeds the slow-task threshold. It returns the
+// task's service time.
+func (t *Trace) TaskEnd(stage int, begin time.Time) time.Duration {
 	now := time.Now()
 	dur := now.Sub(begin)
 	s := &t.stages[stage]
 	s.busyNanos.Add(int64(dur))
 	storeMax(&s.lastEnd, now.UnixNano())
+	t.lat.task.RecordDur(dur)
 	if t.slow > 0 && dur > t.slow {
 		s.slowTasks.Add(1)
 		if t.logf != nil {
@@ -157,6 +211,33 @@ func (t *Trace) TaskEnd(stage int, begin time.Time) {
 				t.job, stage, s.info.Name, dur, t.slow)
 		}
 	}
+	return dur
+}
+
+// ObserveQueueWait records how long one task sat in a node's input queue
+// between Enqueue and TaskBegin.
+func (t *Trace) ObserveQueueWait(d time.Duration) { t.lat.wait.RecordDur(d) }
+
+// TaskEvent appends one completed task to the timeline event log with node,
+// worker, and stage attribution. A no-op unless EnableEvents was called.
+func (t *Trace) TaskEvent(stage, node, worker int, begin time.Time, dur, wait time.Duration, ptrs int) {
+	if t.ring == nil {
+		return
+	}
+	t.ring.Add(Event{
+		Kind: EvTask, Stage: stage, Node: node, Worker: worker,
+		TS: begin.Sub(t.start).Nanoseconds(), Dur: int64(dur), Wait: int64(wait), Ptrs: ptrs,
+	})
+}
+
+// Mark appends an instant event (enqueue, retry, batch split) to the
+// timeline event log; v rides in the event's Ptrs field (queue depth for
+// enqueues, batch size for splits). A no-op unless EnableEvents was called.
+func (t *Trace) Mark(kind EventKind, stage, node, v int) {
+	if t.ring == nil {
+		return
+	}
+	t.ring.Add(Event{Kind: kind, Stage: stage, Node: node, TS: time.Since(t.start).Nanoseconds(), Ptrs: v})
 }
 
 // AddEmits records n outputs produced by the stage.
@@ -170,6 +251,7 @@ func (t *Trace) AddBatch(stage, n int) {
 	s := &t.stages[stage]
 	s.batches.Add(1)
 	s.batchPtrs.Add(int64(n))
+	t.lat.batch.Record(int64(n))
 }
 
 // AddBatchSplit records one batch that failed as a unit and fell back to
@@ -220,6 +302,64 @@ type Snapshot struct {
 	Stages []StageSnapshot `json:"stages"`
 	// Nodes holds one entry per compute node.
 	Nodes []NodeSnapshot `json:"nodes"`
+	// Lat carries the job's latency and batch-size distributions.
+	Lat Latencies `json:"lat"`
+	// Events is the job's bounded timeline event log (nil when capture was
+	// disabled), exportable with WriteChromeTrace / CriticalPath.
+	Events []Event `json:"events,omitempty"`
+	// EventsDropped counts timeline events overwritten because the job
+	// outgrew its event ring; Events then holds the newest ring-capacity
+	// events.
+	EventsDropped int64 `json:"eventsDropped,omitempty"`
+}
+
+// Latencies is the distribution set of one job (or, merged in a Registry,
+// of all recorded jobs). Durations are in nanoseconds; Batch is a pointer
+// count.
+type Latencies struct {
+	// Task is the task service-time distribution (TaskBegin to TaskEnd).
+	Task HistSnapshot `json:"task"`
+	// QueueWait is the enqueue-to-start wait distribution.
+	QueueWait HistSnapshot `json:"queueWait"`
+	// Batch is the pointers-per-dereference-task distribution.
+	Batch HistSnapshot `json:"batch"`
+	// IOLocal / IORemote are the observed storage round-trip distributions
+	// (gate queueing + modeled service), split by access locality.
+	IOLocal  HistSnapshot `json:"ioLocal"`
+	IORemote HistSnapshot `json:"ioRemote"`
+}
+
+// Merge returns both latency sets' observations combined.
+func (l Latencies) Merge(o Latencies) Latencies {
+	return Latencies{
+		Task:      l.Task.Merge(o.Task),
+		QueueWait: l.QueueWait.Merge(o.QueueWait),
+		Batch:     l.Batch.Merge(o.Batch),
+		IOLocal:   l.IOLocal.Merge(o.IOLocal),
+		IORemote:  l.IORemote.Merge(o.IORemote),
+	}
+}
+
+// LatencySummaries digests each latency distribution to its quantile
+// summary, for JSON bench reports. Time-valued summaries are in nanoseconds;
+// Batch is in pointers.
+type LatencySummaries struct {
+	TaskNs      HistSummary `json:"taskNs"`
+	QueueWaitNs HistSummary `json:"queueWaitNs"`
+	BatchPtrs   HistSummary `json:"batchPtrs"`
+	IOLocalNs   HistSummary `json:"ioLocalNs"`
+	IORemoteNs  HistSummary `json:"ioRemoteNs"`
+}
+
+// Summaries digests the latency set into per-distribution quantile digests.
+func (l Latencies) Summaries() LatencySummaries {
+	return LatencySummaries{
+		TaskNs:      l.Task.Summary(),
+		QueueWaitNs: l.QueueWait.Summary(),
+		BatchPtrs:   l.Batch.Summary(),
+		IOLocalNs:   l.IOLocal.Summary(),
+		IORemoteNs:  l.IORemote.Summary(),
+	}
 }
 
 // StageSnapshot reports one stage of an executed job.
@@ -283,6 +423,16 @@ func (t *Trace) Snapshot(err error) *Snapshot {
 		Elapsed: time.Since(t.start),
 		Stages:  make([]StageSnapshot, len(t.stages)),
 		Nodes:   make([]NodeSnapshot, len(t.nodes)),
+		Lat: Latencies{
+			Task:      t.lat.task.Snapshot(),
+			QueueWait: t.lat.wait.Snapshot(),
+			Batch:     t.lat.batch.Snapshot(),
+			IOLocal:   t.lat.ioLocal.Snapshot(),
+			IORemote:  t.lat.ioRemote.Snapshot(),
+		},
+	}
+	if t.ring != nil {
+		s.Events, s.EventsDropped = t.ring.Snapshot()
 	}
 	if err != nil {
 		s.Err = err.Error()
