@@ -1,7 +1,9 @@
 // Command chaosbench drives the deterministic chaos + differential oracle
 // harness (internal/chaos, internal/oracle) from the command line: it runs
-// N seeded scenarios, each executed four ways (SMPE batched, SMPE
-// unbatched, SMPE under an armed chaos schedule, baseline scan), and exits
+// N seeded scenarios, each executed five ways (SMPE batched, SMPE
+// unbatched, SMPE under an armed chaos schedule, SMPE against a
+// lifecycle-managed rebuild of the scenario's index — built in flight,
+// then evicted and rebuilt on demand — and baseline scan), and exits
 // non-zero on any divergence. Every failure prints a single seed that
 // reproduces it; CI runs a short budget with -seed $GITHUB_RUN_ID so each
 // pipeline run explores fresh schedules while staying reproducible from
@@ -14,8 +16,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-shrink] [-v]
-//	    [-timeline chaos-artifacts]
+//	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-lifecycle]
+//	    [-no-shrink] [-v] [-timeline chaos-artifacts]
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "first scenario seed; scenario i uses seed+i")
 		n       = flag.Int("n", 25, "number of seeded scenarios to run")
 		noChaos = flag.Bool("no-chaos", false, "skip the chaos arm (clean differential only)")
+		noLifec = flag.Bool("no-lifecycle", false, "skip the structure-lifecycle arm")
 		noShrnk = flag.Bool("no-shrink", false, "report chaos divergences without shrinking the schedule")
 		verbose = flag.Bool("v", false, "print every scenario, not only divergent ones")
 		tlDir   = flag.String("timeline", "", "write failing-arm timelines and repro files into this directory")
@@ -42,7 +45,7 @@ func main() {
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk}
+	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Lifecycle: !*noLifec}
 	start := time.Now()
 	diverged := 0
 	for i := 0; i < *n; i++ {

@@ -10,10 +10,15 @@
 // quantiles aggregated over the ReDe runs — are written to a file for
 // machine consumption (CI uploads it as BENCH_claims.json).
 //
+// With -budget N, the lake arm's disease index is built through the
+// lifecycle manager under a residency budget of N modeled bytes: the index
+// stays registered-but-absent until the first query demands it (Ensure),
+// and the lifecycle counters are reported at the end.
+//
 // Usage:
 //
 //	go run ./cmd/claimsbench [-claims 20000] [-nodes 4] [-seed 2024]
-//	    [-json BENCH_claims.json]
+//	    [-budget 0] [-json BENCH_claims.json]
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"lakeharbor/internal/claims"
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/trace"
 )
 
@@ -49,6 +55,8 @@ type jsonReport struct {
 	Results   []queryResult          `json:"results"`
 	Totals    trace.Totals           `json:"totals"`
 	Latencies trace.LatencySummaries `json:"latencies"`
+	// Lifecycle carries the structure lifecycle counters when -budget is set.
+	Lifecycle *indexer.LifecycleCounters `json:"lifecycle,omitempty"`
 }
 
 func main() {
@@ -57,6 +65,7 @@ func main() {
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		batch    = flag.Int("batch", core.DefaultMaxBatch, "max pointers coalesced per dereference task (1 = unbatched)")
+		budget   = flag.Int64("budget", 0, "structure residency budget in modeled bytes; >0 manages the disease index's lifecycle")
 		datalake = flag.Bool("datalake", false, "also run the full-scan data-lake arm the paper's footnote omits")
 		showTr   = flag.Bool("trace", false, "print the per-stage execution trace of each ReDe run")
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
@@ -70,7 +79,18 @@ func main() {
 	lakeCluster := dfs.NewCluster(dfs.Config{Nodes: *nodes})
 	whCluster := dfs.NewCluster(dfs.Config{Nodes: *nodes})
 	t0 := time.Now()
-	if err := claims.LoadLake(ctx, lakeCluster, corpus, 0); err != nil {
+	var mgr *indexer.Manager
+	if *budget > 0 {
+		// Lifecycle-managed lake arm: load raw claims only; the disease
+		// index stays absent until the first query's Ensure demands it.
+		if err := claims.LoadLakeRaw(ctx, lakeCluster, corpus, 0); err != nil {
+			log.Fatal(err)
+		}
+		mgr = indexer.NewManager(ctx, lakeCluster, indexer.ManagerOptions{StructureBudget: *budget})
+		if err := mgr.Register(claims.DiseaseIndexSpec()); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := claims.LoadLake(ctx, lakeCluster, corpus, 0); err != nil {
 		log.Fatal(err)
 	}
 	if err := claims.LoadWarehouse(ctx, whCluster, corpus, 0); err != nil {
@@ -90,6 +110,12 @@ func main() {
 		wh, err := claims.RunWarehouse(ctx, whCluster, q, core.Options{MaxBatch: *batch})
 		if err != nil {
 			log.Fatalf("%s warehouse: %v", q.Name, err)
+		}
+		if mgr != nil {
+			// Demand-build (or rebuild) the disease index before the ReDe arm.
+			if err := mgr.Ensure(ctx, claims.IdxClaimsDise); err != nil {
+				log.Fatalf("%s ensure %s: %v", q.Name, claims.IdxClaimsDise, err)
+			}
 		}
 		rd, err := claims.RunReDe(ctx, lakeCluster, q, core.Options{MaxBatch: *batch})
 		if err != nil {
@@ -135,15 +161,26 @@ func main() {
 		fmt.Printf("  %s: %s\n", q.Name, q.Description)
 	}
 
+	if mgr != nil {
+		c := mgr.Counters()
+		fmt.Fprintf(os.Stderr, "\nlifecycle: builds=%d deduped=%d rebuilds=%d evictions=%d resident=%d bytes (budget %d)\n",
+			c.BuildsStarted, c.BuildsDeduped, c.Rebuilds, c.Evictions, mgr.ResidentBytes(), *budget)
+	}
+
 	if *jsonOut != "" {
 		rep := jsonReport{
 			Bench: "claimsbench",
 			Config: map[string]any{
 				"claims": *nClaims, "nodes": *nodes, "seed": *seed, "batch": *batch,
+				"budget": *budget,
 			},
 			Results:   results,
 			Totals:    reg.Totals(),
 			Latencies: reg.Latencies().Summaries(),
+		}
+		if mgr != nil {
+			c := mgr.Counters()
+			rep.Lifecycle = &c
 		}
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

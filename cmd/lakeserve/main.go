@@ -13,12 +13,19 @@
 //	curl 'localhost:8080/v1/lookup?file=orders&key=int:7'
 //	curl 'localhost:8080/v1/range?file=orders_date_idx&lo=int:0&hi=int:30&limit=5'
 //
+// Generated datasets build their structures through the lifecycle manager,
+// so GET /v1/structures lists them and POST /v1/structures/{name}/evict or
+// /build exercises eviction and rebuild-on-demand over HTTP. With -budget N
+// the manager keeps at most N modeled bytes of structures resident (cold
+// ones are evicted; re-building is a POST away). Snapshot restores carry no
+// structure registry, so those servers run without lifecycle endpoints.
+//
 // Prometheus can scrape GET /debug/metrics on the same -addr (text
-// exposition format: execution counters, latency quantile summaries, and
-// storage counters); there is no separate metrics listener. Pass -pprof to
-// additionally expose the Go runtime profiler under /debug/pprof/ — it is
-// off by default because profile endpoints should not be reachable on an
-// unprotected admin port.
+// exposition format: execution counters, latency quantile summaries,
+// storage counters, and structure lifecycle counters); there is no separate
+// metrics listener. Pass -pprof to additionally expose the Go runtime
+// profiler under /debug/pprof/ — it is off by default because profile
+// endpoints should not be reachable on an unprotected admin port.
 package main
 
 import (
@@ -29,9 +36,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"lakeharbor/internal/advisor"
 	"lakeharbor/internal/claims"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/httpapi"
+	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/store"
 	"lakeharbor/internal/tpch"
 )
@@ -45,12 +54,18 @@ func main() {
 		nClaims  = flag.Int("claims", 10000, "number of claims")
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		budget   = flag.Int64("budget", 0, "structure residency budget in modeled bytes (0 = unlimited)")
 		enablePP = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	ctx := context.Background()
 	cluster := dfs.NewCluster(dfs.Config{Nodes: *nodes})
+	mopts := indexer.ManagerOptions{
+		StructureBudget: *budget,
+		RebuildCost:     advisor.New(cluster, advisor.Config{}).BuildCostNs,
+	}
 
+	var mgr *indexer.Manager
 	switch {
 	case *snapshot != "":
 		if err := store.RestoreFromPath(ctx, *snapshot, cluster); err != nil {
@@ -62,21 +77,34 @@ func main() {
 		if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
 			log.Fatal(err)
 		}
-		if err := tpch.BuildStructures(ctx, cluster); err != nil {
+		m, err := tpch.BuildManaged(ctx, cluster, mopts)
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("loaded TPC-H SF=%g with structures\n", *sf)
+		mgr = m
+		fmt.Printf("loaded TPC-H SF=%g with managed structures\n", *sf)
 	case *kind == "claims":
 		corpus := claims.Generate(claims.Config{Claims: *nClaims, Seed: *seed})
-		if err := claims.LoadLake(ctx, cluster, corpus, 0); err != nil {
+		if err := claims.LoadLakeRaw(ctx, cluster, corpus, 0); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("loaded %d claims with disease index\n", *nClaims)
+		mgr = indexer.NewManager(ctx, cluster, mopts)
+		if err := mgr.Register(claims.DiseaseIndexSpec()); err != nil {
+			log.Fatal(err)
+		}
+		if err := mgr.Ensure(ctx, claims.IdxClaimsDise); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d claims with managed disease index\n", *nClaims)
 	default:
 		log.Fatalf("unknown -kind %q", *kind)
 	}
 
-	var handler http.Handler = httpapi.New(cluster)
+	api := httpapi.New(cluster)
+	if mgr != nil {
+		api.AttachStructures(mgr)
+	}
+	var handler http.Handler = api
 	if *enablePP {
 		// Wrap the API in an outer mux so the profiler rides the same
 		// listener without importing pprof's side-effect registration into

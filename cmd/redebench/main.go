@@ -15,11 +15,17 @@
 // latency quantiles aggregated over the SMPE runs — are written to a file
 // for machine consumption (CI uploads it as BENCH_rede.json).
 //
+// With -budget N, the structures are built through the lifecycle manager
+// under a residency budget of N modeled bytes instead of eagerly: cold
+// structures get evicted as the budget fills, the Q5′ driver index is
+// re-ensured (transparently rebuilt if it was the victim) before each run,
+// and the lifecycle counters are reported at the end.
+//
 // Usage:
 //
 //	go run ./cmd/redebench [-sf 0.2] [-nodes 4] [-cores 16] [-threads 1000]
 //	    [-region ASIA] [-sels 0.0001,0.001,...] [-seed 1] [-free]
-//	    [-json BENCH_rede.json]
+//	    [-budget 0] [-json BENCH_rede.json]
 package main
 
 import (
@@ -33,9 +39,11 @@ import (
 	"strings"
 	"time"
 
+	"lakeharbor/internal/advisor"
 	"lakeharbor/internal/baseline"
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/sim"
 	"lakeharbor/internal/tpch"
 	"lakeharbor/internal/trace"
@@ -59,6 +67,8 @@ type jsonReport struct {
 	Results   []selResult            `json:"results"`
 	Totals    trace.Totals           `json:"totals"`
 	Latencies trace.LatencySummaries `json:"latencies"`
+	// Lifecycle carries the structure lifecycle counters when -budget is set.
+	Lifecycle *indexer.LifecycleCounters `json:"lifecycle,omitempty"`
 }
 
 func writeReport(path string, rep jsonReport) {
@@ -83,6 +93,7 @@ func main() {
 		selsArg = flag.String("sels", "0.0001,0.001,0.01,0.05,0.1,0.3,1.0", "comma-separated selectivities")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		free    = flag.Bool("free", false, "disable the I/O cost model (functional check only)")
+		budget  = flag.Int64("budget", 0, "structure residency budget in modeled bytes; >0 builds through the lifecycle manager")
 		showTr  = flag.Bool("trace", false, "print the per-stage execution trace of each SMPE run")
 		slow    = flag.Duration("slow", 0, "flag tasks slower than this in the trace (0 = off)")
 		jsonOut = flag.String("json", "", "write machine-readable results to this file")
@@ -108,12 +119,26 @@ func main() {
 	if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "building structures (date index + foreign-key global indexes)...\n")
+	var mgr *indexer.Manager
 	start := time.Now()
-	if err := tpch.BuildStructures(ctx, cluster); err != nil {
-		log.Fatal(err)
+	if *budget > 0 {
+		fmt.Fprintf(os.Stderr, "building structures under a %d-byte residency budget...\n", *budget)
+		mgr, err = tpch.BuildManaged(ctx, cluster, indexer.ManagerOptions{
+			StructureBudget: *budget,
+			RebuildCost:     advisor.New(cluster, advisor.Config{}).BuildCostNs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "structures built in %v; resident %d bytes, %d evicted\n\n",
+			time.Since(start).Round(time.Millisecond), mgr.ResidentBytes(), mgr.Counters().Evictions)
+	} else {
+		fmt.Fprintf(os.Stderr, "building structures (date index + foreign-key global indexes)...\n")
+		if err := tpch.BuildStructures(ctx, cluster); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "structures built in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(os.Stderr, "structures built in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	eng := baseline.New(cluster, *cores)
 	reg := trace.NewRegistry(0)
@@ -127,6 +152,13 @@ func main() {
 		lo, hi := tpch.DateRange(sel)
 		if hi <= lo {
 			hi = lo + 1
+		}
+		if mgr != nil {
+			// Q5′ drives off the orders-date index; re-ensure it in case an
+			// earlier build pushed it out of the budget (rebuild-on-demand).
+			if err := mgr.Ensure(ctx, tpch.IdxOrdersDate); err != nil {
+				log.Fatal(err)
+			}
 		}
 		job, err := tpch.Q5Job(ctx, cluster, *region, lo, hi)
 		if err != nil {
@@ -180,17 +212,29 @@ func main() {
 		}
 	}
 
+	if mgr != nil {
+		c := mgr.Counters()
+		fmt.Fprintf(os.Stderr, "\nlifecycle: builds=%d deduped=%d rebuilds=%d evictions=%d resident=%d bytes (budget %d)\n",
+			c.BuildsStarted, c.BuildsDeduped, c.Rebuilds, c.Evictions, mgr.ResidentBytes(), *budget)
+	}
+
 	if *jsonOut != "" {
-		writeReport(*jsonOut, jsonReport{
+		rep := jsonReport{
 			Bench: "redebench",
 			Config: map[string]any{
 				"sf": *sf, "nodes": *nodes, "cores": *cores, "threads": *threads,
 				"batch": *batch, "region": *region, "seed": *seed, "free": *free,
+				"budget": *budget,
 			},
 			Results:   results,
 			Totals:    reg.Totals(),
 			Latencies: reg.Latencies().Summaries(),
-		})
+		}
+		if mgr != nil {
+			c := mgr.Counters()
+			rep.Lifecycle = &c
+		}
+		writeReport(*jsonOut, rep)
 	}
 }
 

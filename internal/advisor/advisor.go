@@ -151,9 +151,12 @@ type Recommendation struct {
 	Observations int64
 }
 
-// buildCostNs models building the structure: one streaming scan of the
-// base file, overlapped across its partitions.
-func (a *Advisor) buildCostNs(spec indexer.Spec) (float64, error) {
+// BuildCostNs models (re)building the structure: one streaming scan of the
+// base file, overlapped across its partitions. The structure lifecycle
+// manager uses it to score eviction victims — among equally cold resident
+// structures, the one cheapest to rebuild goes first. It reads only the
+// cluster and is safe to call concurrently.
+func (a *Advisor) BuildCostNs(spec indexer.Spec) (float64, error) {
 	rows, err := a.cluster.Len(spec.Base)
 	if err != nil {
 		return 0, err
@@ -183,7 +186,7 @@ func (a *Advisor) Recommend() ([]Recommendation, error) {
 		if c.built {
 			continue
 		}
-		build, err := a.buildCostNs(c.spec)
+		build, err := a.BuildCostNs(c.spec)
 		if err != nil {
 			return nil, err
 		}

@@ -39,6 +39,17 @@ func DiseaseKey(code string) lake.Key { return keycodec.String(code) }
 // disease of each claim — a multi-valued key extracted with
 // schema-on-read).
 func LoadLake(ctx context.Context, cluster *dfs.Cluster, corpus *Corpus, partitions int) error {
+	if err := LoadLakeRaw(ctx, cluster, corpus, partitions); err != nil {
+		return err
+	}
+	_, err := indexer.Build(ctx, cluster, DiseaseIndexSpec())
+	return err
+}
+
+// LoadLakeRaw stores the raw claims but builds no structures: callers that
+// put the disease index under lifecycle management (claimsbench -budget)
+// register DiseaseIndexSpec with an indexer.Manager and let demand build it.
+func LoadLakeRaw(ctx context.Context, cluster *dfs.Cluster, corpus *Corpus, partitions int) error {
 	if partitions <= 0 {
 		partitions = 2 * cluster.NumNodes()
 	}
@@ -52,8 +63,7 @@ func LoadLake(ctx context.Context, cluster *dfs.Cluster, corpus *Corpus, partiti
 			return err
 		}
 	}
-	_, err = indexer.Build(ctx, cluster, DiseaseIndexSpec())
-	return err
+	return nil
 }
 
 // DiseaseIndexSpec is the access-method registration for the disease index:

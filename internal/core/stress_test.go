@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+)
+
+// TestConcurrentJobsSharedCluster runs many distinct SMPE jobs concurrently
+// against one shared cluster — the multi-tenant shape the executor must
+// survive (run with -race in CI's stress job). Each goroutine runs a
+// different job (different price range, routed vs broadcast join, point
+// selection), checks its own answer against the analytic oracle, and relies
+// on Execute's built-in task-accounting check: any in-flight leak fails
+// that job with an explicit error rather than hanging or passing silently.
+func TestConcurrentJobsSharedCluster(t *testing.T) {
+	fx := newFixture(t, 3, 40, 3)
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runDistinctJob(fx, w); err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// runDistinctJob gives worker w its own job over the shared fixture and
+// verifies the answer.
+func runDistinctJob(fx *testFixture, w int) error {
+	ctx := context.Background()
+	opts := Options{Threads: 16 + w, MaxBatch: 1 + w%4, KeepRecords: true}
+	switch w % 3 {
+	case 0: // join over a worker-specific price range, routed
+		lo, hi := int64(w*10), int64(w*10+100)
+		res, err := ExecuteSMPE(ctx, fx.joinJob(lo, hi, false), fx.cluster, fx.cluster, opts)
+		if err != nil {
+			return err
+		}
+		if want := fx.expectedJoinCount(lo, hi); res.Count != want {
+			return fmt.Errorf("routed join [%d,%d]: count %d, want %d", lo, hi, res.Count, want)
+		}
+		return checkNoLeak(res)
+	case 1: // the same join shape, broadcast
+		lo, hi := int64(w*5), int64(w*5+150)
+		res, err := ExecuteSMPE(ctx, fx.joinJob(lo, hi, true), fx.cluster, fx.cluster, opts)
+		if err != nil {
+			return err
+		}
+		if want := fx.expectedJoinCount(lo, hi); res.Count != want {
+			return fmt.Errorf("broadcast join [%d,%d]: count %d, want %d", lo, hi, res.Count, want)
+		}
+		return checkNoLeak(res)
+	default: // point selection of worker-specific parts
+		keys := []lake.Pointer{}
+		for i := w; i < fx.nParts; i += 7 {
+			k := keycodec.Int64(int64(i))
+			keys = append(keys, lake.Pointer{File: fPart, PartKey: k, Key: k})
+		}
+		job, err := NewJob(fmt.Sprintf("points-%d", w), keys, LookupDeref{File: fPart})
+		if err != nil {
+			return err
+		}
+		res, err := ExecuteSMPE(ctx, job, fx.cluster, fx.cluster, opts)
+		if err != nil {
+			return err
+		}
+		if want := int64(len(keys)); res.Count != want {
+			return fmt.Errorf("points: count %d, want %d", res.Count, want)
+		}
+		return checkNoLeak(res)
+	}
+}
+
+// checkNoLeak asserts the per-job accounting invariant from the outside
+// too: every pointer a referencer emitted was dereferenced downstream.
+func checkNoLeak(res *Result) error {
+	tr := res.Trace
+	for i := 2; i < len(tr.Stages); i += 2 {
+		emitted, arrived := tr.Stages[i-1].Emits, tr.Stages[i].BatchedPtrs
+		if arrived < emitted { // broadcast stages may legitimately multiply
+			return fmt.Errorf("stage %d dereferenced %d of %d emitted pointers (leak)", i, arrived, emitted)
+		}
+	}
+	return nil
+}

@@ -68,8 +68,9 @@ type Cluster struct {
 
 // AppendListener observes every record appended to any file; the structure
 // maintainer uses it to keep built indexes in sync with new data. Listeners
-// run synchronously on the appending goroutine and must not block for long.
-type AppendListener func(file string, rec lake.Record)
+// run synchronously on the appending goroutine — under the appended
+// partition's write lock (see notifyAppend) — and must not block for long.
+type AppendListener func(file string, partition int, rec lake.Record)
 
 // AddAppendListener registers a listener for all future appends.
 func (c *Cluster) AddAppendListener(fn AppendListener) {
@@ -78,14 +79,20 @@ func (c *Cluster) AddAppendListener(fn AppendListener) {
 	c.listeners = append(c.listeners, fn)
 }
 
-// notifyAppend fans an append out to the listeners.
-func (c *Cluster) notifyAppend(file string, recs []lake.Record) {
+// notifyAppend fans an append out to the listeners. It is called by Append
+// while the appended partition's write lock is still held, so for any one
+// partition the pair (insert, notify) is atomic with respect to a scan's
+// read lock: a listener has either been told about a record before a scan
+// can start, or will be told only after the scan finished. Online structure
+// builds depend on that ordering to decide whether the build scan or the
+// maintainer owns a record appended mid-build (see indexer.Maintainer).
+func (c *Cluster) notifyAppend(file string, partition int, recs []lake.Record) {
 	c.listenerMu.RLock()
 	listeners := c.listeners
 	c.listenerMu.RUnlock()
 	for _, fn := range listeners {
 		for _, r := range recs {
-			fn(file, r)
+			fn(file, partition, r)
 		}
 	}
 }
@@ -276,9 +283,17 @@ type file struct {
 	parts       []*partition
 }
 
+// recordOverheadBytes is the modeled per-record storage overhead (tree node
+// pointers, key headers) added to raw key+value size in a partition's byte
+// accounting. Budgeted structure residency works in these modeled bytes.
+const recordOverheadBytes = 32
+
 type partition struct {
 	mu   sync.RWMutex
 	tree *btree.Tree
+	// bytes is the modeled on-disk size of the partition: sum over records
+	// of len(key)+len(data)+recordOverheadBytes. Guarded by mu.
+	bytes int64
 
 	// Fault-injection state, guarded by its own mutex so read paths do
 	// not need the tree's write lock to consume a transient fault.
@@ -509,6 +524,12 @@ func (f *file) Scan(ctx context.Context, partitionIdx int, fn func(lake.Record) 
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	return f.scanLocked(ctx, p, owner, fn)
+}
+
+// scanLocked iterates a partition's records in key order. The caller holds
+// the partition's read lock.
+func (f *file) scanLocked(ctx context.Context, p *partition, owner *node, fn func(lake.Record) error) error {
 	var scanErr error
 	scanned := 0
 	bytes := 0
@@ -546,11 +567,47 @@ func (f *file) Append(ctx context.Context, partitionIdx int, recs ...lake.Record
 	p.mu.Lock()
 	for _, r := range recs {
 		p.tree.Insert(r.Key, r.Data)
+		p.bytes += int64(len(r.Key) + len(r.Data) + recordOverheadBytes)
 	}
+	// Notify under the partition lock: listeners observe appends in the
+	// same order scans do (see notifyAppend). Listeners write to OTHER
+	// files' partitions only, so lock order is always base → index and
+	// cannot cycle.
+	f.cluster.notifyAppend(f.name, partitionIdx, recs)
 	p.mu.Unlock()
 	owner.counters.AddAppend(len(recs))
-	f.cluster.notifyAppend(f.name, recs)
 	return nil
+}
+
+// ScanWithBarrier is Scan with one extra guarantee: barrier is invoked
+// after the partition's read lock is acquired and before the first record
+// is delivered. An append's (insert, notify) pair is atomic under the same
+// lock, so everything notified before barrier runs is visible to this scan,
+// and everything notified after it is not. The structure builder uses the
+// barrier to flip a partition's maintenance from "buffered" to "live" at
+// exactly the point where responsibility for new records changes hands.
+func (f *file) ScanWithBarrier(ctx context.Context, partitionIdx int, barrier func(), fn func(lake.Record) error) error {
+	p, owner, err := f.part(partitionIdx)
+	if err != nil {
+		return err
+	}
+	if err := p.takeFault(); err != nil {
+		return fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if barrier != nil {
+		barrier()
+	}
+	// Admission happens under the read lock here (unlike Scan): releasing
+	// it to charge the gate would let appends slip between the barrier and
+	// the iteration, which is exactly the ambiguity the barrier removes.
+	// Builds therefore block concurrent appends to the partition for the
+	// scan's modeled service time.
+	if err := f.admit(ctx, owner, true, p.tree.Len()); err != nil {
+		return err
+	}
+	return f.scanLocked(ctx, p, owner, fn)
 }
 
 // AppendRouted routes each record through the file's partitioner using the
@@ -577,6 +634,30 @@ func (c *Cluster) Len(name string) (int, error) {
 		p.mu.RUnlock()
 	}
 	return total, nil
+}
+
+// FileSizeBytes returns the named file's total modeled size in bytes
+// (sum of per-partition byte accounting). The lifecycle manager charges a
+// structure's residency against Options.StructureBudget with this number.
+func (c *Cluster) FileSizeBytes(name string) (int64, error) {
+	c.mu.RLock()
+	f, ok := c.files[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", lake.ErrNoSuchFile, name)
+	}
+	return f.SizeBytes(), nil
+}
+
+// SizeBytes implements lake.SizedFile: the file's total modeled size.
+func (f *file) SizeBytes() int64 {
+	var total int64
+	for _, p := range f.parts {
+		p.mu.RLock()
+		total += p.bytes
+		p.mu.RUnlock()
+	}
+	return total
 }
 
 // Bind marks ctx as executing on the given node, so subsequent accesses are

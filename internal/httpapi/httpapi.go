@@ -22,6 +22,7 @@ import (
 	"unicode/utf8"
 
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/keycodec"
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/trace"
@@ -29,9 +30,10 @@ import (
 
 // Server serves the API over one cluster.
 type Server struct {
-	cluster *dfs.Cluster
-	mux     *http.ServeMux
-	traces  *trace.Registry
+	cluster    *dfs.Cluster
+	mux        *http.ServeMux
+	traces     *trace.Registry
+	structures *indexer.Manager // nil until AttachStructures
 }
 
 // New builds a Server for the cluster.
@@ -48,6 +50,9 @@ func New(cluster *dfs.Cluster) *Server {
 	s.mux.HandleFunc("GET /v1/range", s.handleRange)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/jobs/range", s.handleJobRange)
+	s.mux.HandleFunc("GET /v1/structures", s.handleStructures)
+	s.mux.HandleFunc("POST /v1/structures/{name}/build", s.handleStructureBuild)
+	s.mux.HandleFunc("POST /v1/structures/{name}/evict", s.handleStructureEvict)
 	s.mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	s.mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
 	s.mux.HandleFunc("GET /debug/jobs/{id}/timeline", s.handleDebugJobTimeline)

@@ -225,6 +225,7 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
+	s.writeLifecycleMetrics(w)
 }
 
 // RecordTrace lets callers that execute jobs against the same cluster

@@ -1,0 +1,169 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+)
+
+// structuresServer builds a cluster with one base file, a lifecycle manager
+// with one registered (unbuilt) structure, and a server with the manager
+// attached.
+func structuresServer(t *testing.T) (*httptest.Server, *indexer.Manager, *dfs.Cluster) {
+	t.Helper()
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	f, err := c.CreateFile("orders", dfs.Btree, 4, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 80; i++ {
+		k := keycodec.Int64(i)
+		rec := lake.Record{Key: k, Data: []byte(fmt.Sprintf("%d|%d", i, i%9))}
+		if err := dfs.AppendRouted(ctx, f, k, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := indexer.NewManager(ctx, c, indexer.ManagerOptions{})
+	err = m.Register(indexer.Spec{
+		Name: "orders_val_idx", Base: "orders", Kind: indexer.Global,
+		PartKey: func(rec lake.Record) (lake.Key, error) { return rec.Key, nil },
+		Keys: func(rec lake.Record) ([]lake.Key, error) {
+			v, err := strconv.ParseInt(strings.SplitN(string(rec.Data), "|", 2)[1], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			return []lake.Key{keycodec.Int64(v)}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	s.AttachStructures(m)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv, m, c
+}
+
+func postStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestStructuresEndpointsLifecycle(t *testing.T) {
+	srv, m, c := structuresServer(t)
+	ctx := context.Background()
+
+	// Registered but unbuilt: listed as absent, nothing resident.
+	var out StructuresJSON
+	if code := getJSON(t, srv.URL+"/v1/structures", &out); code != 200 {
+		t.Fatalf("GET /v1/structures: status %d", code)
+	}
+	if len(out.Structures) != 1 || out.Structures[0].Name != "orders_val_idx" {
+		t.Fatalf("structures = %+v", out.Structures)
+	}
+	if out.Structures[0].State != "absent" || out.ResidentBytes != 0 {
+		t.Fatalf("unbuilt structure: state=%q resident=%d", out.Structures[0].State, out.ResidentBytes)
+	}
+
+	// Build over HTTP is async (202); join it through the manager.
+	if code := postStatus(t, srv.URL+"/v1/structures/orders_val_idx/build"); code != 202 {
+		t.Fatalf("POST build: status %d", code)
+	}
+	if err := m.Ensure(ctx, "orders_val_idx"); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, srv.URL+"/v1/structures", &out); code != 200 {
+		t.Fatalf("GET /v1/structures: status %d", code)
+	}
+	st := out.Structures[0]
+	if st.State != "ready" || st.SizeBytes <= 0 || out.ResidentBytes != st.SizeBytes {
+		t.Fatalf("built structure: %+v resident=%d", st, out.ResidentBytes)
+	}
+	if out.Counters.BuildsStarted == 0 {
+		t.Fatalf("counters not surfaced: %+v", out.Counters)
+	}
+	if n, _ := c.Len("orders_val_idx"); n != 80 {
+		t.Fatalf("index has %d entries, want 80", n)
+	}
+
+	// Evict over HTTP drops the file; a second evict conflicts (409).
+	if code := postStatus(t, srv.URL+"/v1/structures/orders_val_idx/evict"); code != 200 {
+		t.Fatalf("POST evict: status %d", code)
+	}
+	if _, err := c.File("orders_val_idx"); err == nil {
+		t.Fatal("evicted structure still in the catalog")
+	}
+	if code := postStatus(t, srv.URL+"/v1/structures/orders_val_idx/evict"); code != 409 {
+		t.Fatalf("evicting an evicted structure: status %d, want 409", code)
+	}
+	// Unknown names are 404 on both verbs.
+	if code := postStatus(t, srv.URL+"/v1/structures/nope/build"); code != 404 {
+		t.Fatalf("build of unknown structure: status %d, want 404", code)
+	}
+	if code := postStatus(t, srv.URL+"/v1/structures/nope/evict"); code != 404 {
+		t.Fatalf("evict of unknown structure: status %d, want 404", code)
+	}
+
+	// Lifecycle counters flow into /debug/metrics.
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		"lakeharbor_structure_builds_started_total 1",
+		"lakeharbor_structure_evictions_total 1",
+		"lakeharbor_structure_resident_bytes 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/metrics missing %q", want)
+		}
+	}
+}
+
+func TestStructuresEndpointsWithoutManager(t *testing.T) {
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	srv := httptest.NewServer(New(c))
+	defer srv.Close()
+	if code := getJSON(t, srv.URL+"/v1/structures", nil); code != 404 {
+		t.Fatalf("GET /v1/structures without manager: status %d, want 404", code)
+	}
+	// /debug/metrics must still work, just without lifecycle metrics.
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); strings.Contains(body, "lakeharbor_structure_") {
+		t.Fatal("lifecycle metrics emitted without a manager")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}

@@ -80,7 +80,7 @@ func (s Spec) validate() error {
 // Build synchronously builds the index described by spec on the cluster and
 // returns it. Partitions of the base file are scanned concurrently.
 func Build(ctx context.Context, cluster *dfs.Cluster, spec Spec) (lake.BtreeFile, error) {
-	b := newBuild(cluster, spec)
+	b := newBuild(cluster, spec, BuildOptions{})
 	b.run(ctx)
 	if err := b.Err(); err != nil {
 		return nil, err
@@ -91,7 +91,24 @@ func Build(ctx context.Context, cluster *dfs.Cluster, spec Spec) (lake.BtreeFile
 // BuildAsync starts a background build and returns immediately; use Wait to
 // join it.
 func BuildAsync(ctx context.Context, cluster *dfs.Cluster, spec Spec) *BuildStatus {
-	b := newBuild(cluster, spec)
+	return StartBuild(ctx, cluster, spec, BuildOptions{})
+}
+
+// BuildOptions tunes one build.
+type BuildOptions struct {
+	// Barrier, when non-nil, is invoked once per base partition at the
+	// build scan's snapshot point (lake.ScanWithBarrier): every record
+	// appended — and notified to append listeners — before the barrier runs
+	// is covered by the build scan; every record after it is not and must be
+	// applied by a maintainer. The lifecycle manager uses the barrier to
+	// flip per-partition maintenance from buffered to live without dropping
+	// or double-indexing racing appends.
+	Barrier func(basePartition int)
+}
+
+// StartBuild is BuildAsync with options.
+func StartBuild(ctx context.Context, cluster *dfs.Cluster, spec Spec, opts BuildOptions) *BuildStatus {
+	b := newBuild(cluster, spec, opts)
 	go b.run(ctx)
 	return b
 }
@@ -100,17 +117,20 @@ func BuildAsync(ctx context.Context, cluster *dfs.Cluster, spec Spec) *BuildStat
 type BuildStatus struct {
 	cluster *dfs.Cluster
 	spec    Spec
+	opts    BuildOptions
 
-	scanned atomic.Int64
-	emitted atomic.Int64
+	scanned   atomic.Int64
+	emitted   atomic.Int64
+	partsDone atomic.Int64
+	parts     atomic.Int64
 
 	done chan struct{}
 	mu   sync.Mutex
 	err  error
 }
 
-func newBuild(cluster *dfs.Cluster, spec Spec) *BuildStatus {
-	return &BuildStatus{cluster: cluster, spec: spec, done: make(chan struct{})}
+func newBuild(cluster *dfs.Cluster, spec Spec, opts BuildOptions) *BuildStatus {
+	return &BuildStatus{cluster: cluster, spec: spec, opts: opts, done: make(chan struct{})}
 }
 
 // Scanned returns the number of base records read so far.
@@ -118,6 +138,13 @@ func (b *BuildStatus) Scanned() int64 { return b.scanned.Load() }
 
 // Emitted returns the number of index entries written so far.
 func (b *BuildStatus) Emitted() int64 { return b.emitted.Load() }
+
+// Watermark reports the build's per-partition progress: how many base
+// partitions have been fully indexed, out of how many. A partial-coverage
+// reader can consult it to decide which partitions the index already covers.
+func (b *BuildStatus) Watermark() (done, total int64) {
+	return b.partsDone.Load(), b.parts.Load()
+}
 
 // Wait blocks until the build finishes or ctx is done, returning the build
 // error if any.
@@ -152,6 +179,10 @@ func (b *BuildStatus) run(ctx context.Context) {
 		b.fail(err)
 		return
 	}
+	if err := ctx.Err(); err != nil {
+		b.fail(fmt.Errorf("indexer: %q: %w", spec.Name, err))
+		return
+	}
 	base, err := b.cluster.File(spec.Base)
 	if err != nil {
 		b.fail(fmt.Errorf("indexer: %q: %w", spec.Name, err))
@@ -175,6 +206,7 @@ func (b *BuildStatus) run(ctx context.Context) {
 		return
 	}
 
+	b.parts.Store(int64(base.NumPartitions()))
 	var wg sync.WaitGroup
 	errCh := make(chan error, base.NumPartitions())
 	for p := 0; p < base.NumPartitions(); p++ {
@@ -183,6 +215,8 @@ func (b *BuildStatus) run(ctx context.Context) {
 			defer wg.Done()
 			if err := b.buildPartition(ctx, base, idx, p); err != nil {
 				errCh <- err
+			} else {
+				b.partsDone.Add(1)
 			}
 		}(p)
 	}
@@ -196,9 +230,16 @@ func (b *BuildStatus) run(ctx context.Context) {
 }
 
 // buildPartition scans one base partition and appends its index entries in
-// batches.
+// batches. The scan runs through lake.ScanWithBarrier so that, when the
+// build has a Barrier hook, responsibility for records appended mid-build
+// hands over at a well-defined point (see BuildOptions.Barrier).
 func (b *BuildStatus) buildPartition(ctx context.Context, base, idx lake.File, p int) error {
 	spec := b.spec
+	// A canceled build must not report success for partitions it never
+	// scanned (an empty partition's scan performs no per-record ctx checks).
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("indexer: %q: partition %d: %w", spec.Name, p, err)
+	}
 	type pending struct {
 		part int
 		rec  lake.Record
@@ -206,6 +247,9 @@ func (b *BuildStatus) buildPartition(ctx context.Context, base, idx lake.File, p
 	const batchSize = 1024
 	batch := make([]pending, 0, batchSize)
 	flush := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("indexer: %q: partition %d: %w", spec.Name, p, err)
+		}
 		for _, pe := range batch {
 			if err := idx.Append(ctx, pe.part, pe.rec); err != nil {
 				return err
@@ -215,7 +259,16 @@ func (b *BuildStatus) buildPartition(ctx context.Context, base, idx lake.File, p
 		batch = batch[:0]
 		return nil
 	}
-	err := base.Scan(ctx, p, func(rec lake.Record) error {
+	scan := func(fn func(lake.Record) error) error {
+		if b.opts.Barrier == nil {
+			// No hand-over protocol requested: plain Scan admits outside the
+			// partition lock, so concurrent appends are not blocked for the
+			// scan's modeled service time.
+			return base.Scan(ctx, p, fn)
+		}
+		return lake.ScanWithBarrier(ctx, base, p, func() { b.opts.Barrier(p) }, fn)
+	}
+	err := scan(func(rec lake.Record) error {
 		b.scanned.Add(1)
 		basePartKey, err := spec.PartKey(rec)
 		if err != nil {
@@ -294,10 +347,23 @@ func (r *Registry) Names() []string {
 }
 
 // Ensure builds the named structure if it has not been built yet and waits
-// for it to be ready. Concurrent Ensure calls share one build.
+// for it to be ready. Concurrent Ensure calls share one build (singleflight
+// via the builds map); a build that finished with an error is cleared so the
+// next Ensure retries it instead of replaying the stale error forever (a
+// failed build leaves no file behind — run drops it).
 func (r *Registry) Ensure(ctx context.Context, name string) error {
 	r.mu.Lock()
 	b, ok := r.builds[name]
+	if ok {
+		select {
+		case <-b.done:
+			if b.Err() != nil {
+				delete(r.builds, name)
+				ok = false
+			}
+		default:
+		}
+	}
 	if !ok {
 		spec, known := r.specs[name]
 		if !known {

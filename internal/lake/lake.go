@@ -153,6 +153,52 @@ func LookupBatchFallback(ctx context.Context, f File, partition int, keys []Key)
 	return out, nil
 }
 
+// SizedFile is a File that can report its modeled storage footprint. The
+// structure lifecycle manager charges resident structures against a memory
+// budget with it; files that cannot report a size are treated as free.
+type SizedFile interface {
+	File
+	// SizeBytes returns the file's total modeled size in bytes.
+	SizeBytes() int64
+}
+
+// SizeBytes returns f's modeled size when it implements SizedFile, and 0
+// otherwise.
+func SizeBytes(f File) int64 {
+	if sf, ok := f.(SizedFile); ok {
+		return sf.SizeBytes()
+	}
+	return 0
+}
+
+// BarrierScanner is a File whose Scan can run a barrier callback at the
+// exact point where the scan's snapshot is pinned: everything appended (and
+// notified to append listeners) before the barrier runs is visible to the
+// scan, everything after is not. Online structure builds use the barrier to
+// hand responsibility for concurrent appends from the build scan to the
+// maintainer without dropping or duplicating records.
+type BarrierScanner interface {
+	File
+	// ScanWithBarrier is Scan with barrier invoked after the scan's
+	// snapshot is pinned and before the first record is delivered.
+	ScanWithBarrier(ctx context.Context, partition int, barrier func(), fn func(Record) error) error
+}
+
+// ScanWithBarrier scans a partition of f, invoking barrier at the snapshot
+// point when f supports it. Files without barrier support run the barrier
+// immediately before a plain Scan — correct only when no appends race the
+// scan, which is why the builder's exactly-once guarantee is documented as
+// requiring a BarrierScanner.
+func ScanWithBarrier(ctx context.Context, f File, partition int, barrier func(), fn func(Record) error) error {
+	if bs, ok := f.(BarrierScanner); ok {
+		return bs.ScanWithBarrier(ctx, partition, barrier, fn)
+	}
+	if barrier != nil {
+		barrier()
+	}
+	return f.Scan(ctx, partition, fn)
+}
+
 // Partitioner maps a partition key to a partition index in [0, n).
 type Partitioner interface {
 	// Partition returns the partition index for key given n partitions.

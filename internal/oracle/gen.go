@@ -20,6 +20,7 @@ import (
 	"lakeharbor/internal/chaos"
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/keycodec"
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/sim"
@@ -53,6 +54,12 @@ type scenario struct {
 	// multiplier of the referencer feeding it: 1 for routed pointers
 	// (default), NumNodes when that referencer broadcasts.
 	ptrFanout map[int]int
+	// lcSpec, for index-bearing forms, is an access-method spec whose build
+	// reproduces the hand-built index entry for entry (same keys, payloads,
+	// partition count, and partitioner), so the lifecycle arm can drop the
+	// index and rebuild it through a lifecycle Manager without changing the
+	// job's seeds or answer. Nil for forms without an index.
+	lcSpec *indexer.Spec
 }
 
 // rowKey is the multiset identity of one result record.
@@ -272,6 +279,30 @@ func appendIndex(in buildIn, idx lake.File, routeKey func(i int) lake.Key) error
 	return nil
 }
 
+// lifecycleSpec builds the access-method spec equivalent to what
+// appendIndex hand-wrote: each base row "id|val" is indexed under the
+// encoded val with an entry carrying (pk, pk), the base being partitioned
+// by its own primary key. Kind, partition count, and partitioner must match
+// the generated index so the rebuild routes every entry to the same
+// partition the hand-built one used, keeping precomputed seeds valid.
+func lifecycleSpec(kind indexer.Kind, parts int, part lake.Partitioner) *indexer.Spec {
+	return &indexer.Spec{
+		Name:        idxFile,
+		Base:        baseFile,
+		Kind:        kind,
+		Partitions:  parts,
+		Partitioner: part,
+		PartKey:     func(rec lake.Record) (lake.Key, error) { return rec.Key, nil },
+		Keys: func(rec lake.Record) ([]lake.Key, error) {
+			v, err := parseVal(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			return []lake.Key{keycodec.Int64(int64(v))}, nil
+		},
+	}
+}
+
 // valRange draws an inclusive [lo, hi] sub-range of the val domain.
 func valRange(rng *rand.Rand, domain int) (int, int) {
 	lo := rng.Intn(domain)
@@ -290,6 +321,7 @@ func buildLocalIndexRange(sc *scenario, rng *rand.Rand, in buildIn) error {
 	if err := appendIndex(in, idx, func(i int) lake.Key { return in.pks[i] }); err != nil {
 		return err
 	}
+	sc.lcSpec = lifecycleSpec(indexer.Local, in.parts, in.base.Partitioner())
 	lo, hi := valRange(rng, in.valDomain)
 	seeds := []lake.Pointer{{File: idxFile, NoPart: true, Key: keycodec.Int64(int64(lo)), EndKey: keycodec.Int64(int64(hi))}}
 	job, err := core.NewJob("local-range", seeds,
@@ -313,7 +345,8 @@ func buildGlobalIndexRange(sc *scenario, rng *rand.Rand, in buildIn) error {
 	for v := range valKeys {
 		valKeys[v] = keycodec.Int64(int64(v))
 	}
-	idx, err := sc.cluster.CreateFile(idxFile, dfs.Btree, idxParts, samplePartitioner(rng, idxParts, valKeys))
+	idxPart := samplePartitioner(rng, idxParts, valKeys)
+	idx, err := sc.cluster.CreateFile(idxFile, dfs.Btree, idxParts, idxPart)
 	if err != nil {
 		return err
 	}
@@ -321,6 +354,7 @@ func buildGlobalIndexRange(sc *scenario, rng *rand.Rand, in buildIn) error {
 	if err := appendIndex(in, idx, func(i int) lake.Key { return keycodec.Int64(int64(in.vals[i])) }); err != nil {
 		return err
 	}
+	sc.lcSpec = lifecycleSpec(indexer.Global, idxParts, idxPart)
 	lo, hi := valRange(rng, in.valDomain)
 	seeds, err := core.SeedRange(sc.cluster, idxFile, keycodec.Int64(int64(lo)), keycodec.Int64(int64(hi)))
 	if err != nil {

@@ -1,8 +1,10 @@
 // Package oracle is the differential query oracle for the SMPE executor:
 // one seed generates a random cluster, dataset, and multi-stage job, and
-// the job is executed four ways — SMPE batched, SMPE unbatched, SMPE under
-// an armed chaos schedule, and an independent baseline scan engine (the
-// expected answer). Any difference in the result multiset, any per-stage
+// the job is executed several ways — SMPE batched, SMPE unbatched, SMPE
+// under an armed chaos schedule, SMPE against a lifecycle-managed rebuild
+// of the scenario's index (built in flight, then evicted and rebuilt on
+// demand), and an independent baseline scan engine (the expected answer).
+// Any difference in the result multiset, any per-stage
 // emit-count disagreement between the SMPE arms, or any violated trace
 // invariant is a reported divergence that reproduces from the seed alone;
 // a chaos-arm divergence is additionally shrunk (chaos.Shrink) to a
@@ -32,6 +34,12 @@ type Options struct {
 	// Profile overrides the chaos density; zero selects
 	// chaos.DefaultProfile.
 	Profile chaos.Profile
+	// Lifecycle enables the fifth arm: for index-bearing forms, the
+	// hand-built index is dropped and rebuilt through a lifecycle Manager —
+	// the job fires while the build is in flight (joined via singleflight
+	// Ensure), and again after a forced evict triggers rebuild-on-demand.
+	// Both runs must reproduce the oracle answer.
+	Lifecycle bool
 }
 
 // Report is the outcome of one seeded differential run.
@@ -126,6 +134,13 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 				return len(f) > 0
 			})
 		}
+	}
+	if opts.Lifecycle {
+		// Last arm: it mutates the scenario's index (drop + managed rebuild
+		// to an equivalent file), so every arm that expects the hand-built
+		// one has already run.
+		res, fails := runLifecycleArm(ctx, sc)
+		note("smpe-lifecycle", res, fails)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,113 @@
+package planner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/sim"
+	"lakeharbor/internal/tpch"
+)
+
+// TestPlannerDegradesWhileStructuresNotReady wires the planner to a
+// lifecycle manager and checks graceful degradation end to end: with the
+// driver index absent the query routes to the scan path (correct answer,
+// "scan-fallback" recorded in the trace), once the structures are ready it
+// routes back to the index plan, and a forced evict degrades it again —
+// all without a wrong or failed query in between.
+func TestPlannerDegradesWhileStructuresNotReady(t *testing.T) {
+	ctx := context.Background()
+	ds := tpch.Generate(tpch.Config{SF: 0.03, Seed: 7})
+	cluster := dfs.NewCluster(dfs.Config{Nodes: 2, Cost: sim.CostModel{}})
+	if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	mgr := indexer.NewManager(ctx, cluster, indexer.ManagerOptions{})
+	for _, spec := range tpch.StructureSpecs() {
+		if err := mgr.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lo, hi := tpch.DateRange(0.3)
+	want := ds.OracleQ5("ASIA", lo, hi)
+	pl := New(cluster, 4)
+	pl.Structures = mgr
+
+	// Structures absent: the plan must degrade, not fail on the missing
+	// index file, and still produce the right answer via the scan engine.
+	q := q5Query(t, ctx, cluster, "ASIA", lo, hi)
+	p, err := pl.Plan(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Degraded || p.Strategy != ScanPlan {
+		t.Fatalf("plan over absent structures: degraded=%v strategy=%v, want degraded scan", p.Degraded, p.Strategy)
+	}
+	if p.Route() != "scan-fallback" {
+		t.Fatalf("route = %q, want scan-fallback", p.Route())
+	}
+	res, err := p.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("degraded plan count = %d, oracle = %d", res.Count, want)
+	}
+	if res.Trace == nil || res.Trace.Route != "scan-fallback" {
+		t.Fatalf("trace route not recorded on degraded run: %+v", res.Trace)
+	}
+	if f := mgr.Counters().ScanFallbacks; f == 0 {
+		t.Fatal("scan fallback not counted")
+	}
+
+	// The degraded Plan kicked the builds off in the background; a generous
+	// build-wait budget must now ride them to readiness and route through
+	// the index plan.
+	for _, name := range q.structureNames() {
+		if err := mgr.Ensure(ctx, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl.MaxBuildWait = 10 * time.Second
+	p, err = pl.Plan(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degraded {
+		t.Fatalf("plan degraded with all structures ready: %+v", p)
+	}
+	res, err = p.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("ready plan count = %d, oracle = %d", res.Count, want)
+	}
+	if res.Trace == nil || res.Trace.Route != p.Route() {
+		t.Fatalf("trace route %v does not match plan route %q", res.Trace, p.Route())
+	}
+
+	// Evicting the driver index degrades the next plan again (and kicks off
+	// a rebuild); the answer must not change.
+	if err := mgr.Evict(q.DriverIndex); err != nil {
+		t.Fatal(err)
+	}
+	pl.MaxBuildWait = 0
+	p, err = pl.Plan(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Degraded || p.NotReady != q.DriverIndex {
+		t.Fatalf("plan after evict: degraded=%v notReady=%q, want degraded on %q", p.Degraded, p.NotReady, q.DriverIndex)
+	}
+	res, err = p.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("post-evict degraded count = %d, oracle = %d", res.Count, want)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/trace"
 )
 
 // Table describes one base file to the planner.
@@ -137,6 +138,14 @@ func (s Strategy) String() string {
 type Plan struct {
 	Query    *Query
 	Strategy Strategy
+	// Degraded reports that the scan strategy was forced because a required
+	// structure was not ready (building or evicted), not chosen on cost.
+	Degraded bool
+	// NotReady names the structure that forced the degraded route.
+	NotReady string
+	// BuildWait is how long planning waited on in-flight structure builds
+	// (bounded by Planner.MaxBuildWait).
+	BuildWait time.Duration
 	// EstimatedDriverRows is the sampled estimate of rows matching the
 	// driving predicate.
 	EstimatedDriverRows int64
@@ -148,10 +157,27 @@ type Plan struct {
 	planner *Planner
 }
 
+// Route names the plan's execution route for trace attribution: "index",
+// "scan" (chosen on cost), or "scan-fallback" (forced by a structure that
+// was not ready).
+func (p *Plan) Route() string {
+	switch {
+	case p.Strategy == IndexPlan:
+		return "index"
+	case p.Degraded:
+		return "scan-fallback"
+	default:
+		return "scan"
+	}
+}
+
 // Explain renders the planning decision for humans.
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query %q: strategy=%s\n", p.Query.Name, p.Strategy)
+	if p.Degraded {
+		fmt.Fprintf(&b, "  degraded: structure %q not ready (waited %v); scan fallback\n", p.NotReady, p.BuildWait)
+	}
 	fmt.Fprintf(&b, "  estimated driver rows: %d\n", p.EstimatedDriverRows)
 	fmt.Fprintf(&b, "  estimated cost: index=%v scan=%v\n", p.EstimatedIndexCost, p.EstimatedScanCost)
 	fmt.Fprintf(&b, "  chain: %s[%s]", p.Query.From.Name, p.Query.DriverIndex)
@@ -167,12 +193,32 @@ func (p *Plan) Explain() string {
 	return b.String()
 }
 
+// StructureView is the planner's window into the structure lifecycle
+// manager (indexer.Manager implements it). Acquire reports whether the
+// named structure is resident and ready, touching it for LRU accounting;
+// when it is building and maxWait > 0 it may wait for the build, returning
+// the time spent; when it is absent or evicted it kicks off a background
+// rebuild and reports not ready. Unknown names must report ready.
+type StructureView interface {
+	Acquire(ctx context.Context, name string, maxWait time.Duration) (ready bool, waited time.Duration)
+}
+
 // Planner plans and executes queries over one cluster.
 type Planner struct {
 	cluster *dfs.Cluster
 	engine  *baseline.Engine
 	// SMPEOptions configures index-plan execution.
 	SMPEOptions core.Options
+	// Structures, when set, routes queries around structures that are not
+	// resident: a query whose driver index or join index is building or
+	// evicted degrades to the scan plan instead of blocking on the build
+	// (graceful degradation). Nil preserves the old behavior of assuming
+	// every registered structure exists.
+	Structures StructureView
+	// MaxBuildWait bounds the total time Plan may spend waiting on
+	// in-flight structure builds before degrading to the scan path. Zero
+	// never waits.
+	MaxBuildWait time.Duration
 }
 
 // New returns a Planner over the cluster. coresPerNode configures the scan
@@ -184,11 +230,59 @@ func New(cluster *dfs.Cluster, coresPerNode int) *Planner {
 	}
 }
 
-// Plan estimates costs for both strategies and picks the cheaper one.
+// structureNames lists every structure the index plan depends on: the
+// driver index plus each join's probe index.
+func (q *Query) structureNames() []string {
+	names := []string{q.DriverIndex}
+	for _, j := range q.Joins {
+		if j.ViaIndex != "" {
+			names = append(names, j.ViaIndex)
+		}
+	}
+	return names
+}
+
+// Plan estimates costs for both strategies and picks the cheaper one. With
+// a StructureView attached, a query whose structures are not all ready is
+// routed to the scan plan (after waiting up to MaxBuildWait for in-flight
+// builds) rather than blocking — the degraded route and the build wait are
+// recorded on the plan and, at execution, in the result's trace.
 func (pl *Planner) Plan(ctx context.Context, q *Query) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if pl.Structures != nil {
+		var waited time.Duration
+		for _, name := range q.structureNames() {
+			budget := pl.MaxBuildWait - waited
+			if budget < 0 {
+				budget = 0
+			}
+			ready, w := pl.Structures.Acquire(ctx, name, budget)
+			waited += w
+			if !ready {
+				return &Plan{
+					Query:     q,
+					Strategy:  ScanPlan,
+					Degraded:  true,
+					NotReady:  name,
+					BuildWait: waited,
+					planner:   pl,
+				}, nil
+			}
+		}
+		p, err := pl.planCosted(ctx, q)
+		if p != nil {
+			p.BuildWait = waited
+		}
+		return p, err
+	}
+	return pl.planCosted(ctx, q)
+}
+
+// planCosted is the cost-based strategy choice over structures assumed
+// present.
+func (pl *Planner) planCosted(ctx context.Context, q *Query) (*Plan, error) {
 	driverRows, err := EstimateRangeRows(ctx, pl.cluster, q.DriverIndex, q.DriverLo, q.DriverHi)
 	if err != nil {
 		return nil, err
@@ -211,7 +305,10 @@ func (pl *Planner) Plan(ctx context.Context, q *Query) (*Plan, error) {
 }
 
 // Execute runs the plan and returns the final rows as composite records
-// (index plan) or equivalent joined rows (scan plan), plus the count.
+// (index plan) or equivalent joined rows (scan plan), plus the count. The
+// chosen route and any structure build wait are recorded in the result's
+// trace; scan-plan runs, which bypass the SMPE executor, get a minimal
+// trace carrying just that attribution.
 func (p *Plan) Execute(ctx context.Context) (*core.Result, error) {
 	switch p.Strategy {
 	case IndexPlan:
@@ -219,9 +316,23 @@ func (p *Plan) Execute(ctx context.Context) (*core.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.ExecuteSMPE(ctx, job, p.planner.cluster, p.planner.cluster, p.planner.SMPEOptions)
+		res, err := core.ExecuteSMPE(ctx, job, p.planner.cluster, p.planner.cluster, p.planner.SMPEOptions)
+		if err == nil && res.Trace != nil {
+			res.Trace.Route = p.Route()
+			res.Trace.BuildWait = p.BuildWait
+		}
+		return res, err
 	default:
-		return p.planner.executeScan(ctx, p.Query)
+		start := time.Now()
+		res, err := p.planner.executeScan(ctx, p.Query)
+		if err == nil {
+			if res.Trace == nil {
+				res.Trace = &trace.Snapshot{Job: p.Query.Name, Start: start, Elapsed: res.Elapsed}
+			}
+			res.Trace.Route = p.Route()
+			res.Trace.BuildWait = p.BuildWait
+		}
+		return res, err
 	}
 }
 

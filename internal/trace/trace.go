@@ -298,6 +298,14 @@ type Snapshot struct {
 	Elapsed time.Duration `json:"elapsed"`
 	// Err is the job's failure message, empty on success.
 	Err string `json:"err,omitempty"`
+	// Route names the execution route the planner chose for this job
+	// ("index", "scan", or "scan-fallback" when a not-ready structure
+	// degraded an index plan to the scan path). Empty for jobs executed
+	// without a planner.
+	Route string `json:"route,omitempty"`
+	// BuildWait is how long the planner waited on an in-flight structure
+	// build before routing (zero when it did not wait).
+	BuildWait time.Duration `json:"buildWait,omitempty"`
 	// Stages holds one entry per job stage.
 	Stages []StageSnapshot `json:"stages"`
 	// Nodes holds one entry per compute node.

@@ -112,6 +112,12 @@ type (
 	StructureSpec = indexer.Spec
 	// BuildStatus tracks a background structure build.
 	BuildStatus = indexer.BuildStatus
+	// StructureManager is the structure lifecycle manager: singleflight
+	// builds, budgeted residency, eviction, rebuild-on-demand (see
+	// Engine.Structures).
+	StructureManager = indexer.Manager
+	// StructureStatus describes one managed structure's lifecycle state.
+	StructureStatus = indexer.StructureStatus
 	// ExecTrace is a job's execution trace snapshot (Result.Trace):
 	// per-stage spans and per-node queue/worker/I/O telemetry.
 	ExecTrace = trace.Snapshot
@@ -187,13 +193,21 @@ type Config struct {
 	// DefaultPartitions is the partition count used when CreateFile is
 	// called with partitions == 0 (default 2×Nodes).
 	DefaultPartitions int
+	// StructureBudget caps the total modeled bytes of resident built
+	// structures; cold ready structures are evicted (and transparently
+	// rebuilt on demand) to stay within it. 0 means unlimited.
+	StructureBudget int64
+	// MaintainStructures keeps built structures in sync with records
+	// ingested after their build (writer-pays maintenance, §III-D). Off by
+	// default: without it an index reflects the data as of its build.
+	MaintainStructures bool
 }
 
 // Engine is a LakeHarbor instance: simulated cluster storage, a structure
-// registry, and the ReDe executor.
+// lifecycle manager, and the ReDe executor.
 type Engine struct {
 	cluster  *dfs.Cluster
-	registry *indexer.Registry
+	manager  *indexer.Manager
 	defParts int
 }
 
@@ -205,8 +219,11 @@ func New(cfg Config) *Engine {
 		defParts = 2 * cluster.NumNodes()
 	}
 	return &Engine{
-		cluster:  cluster,
-		registry: indexer.NewRegistry(cluster),
+		cluster: cluster,
+		manager: indexer.NewManager(context.Background(), cluster, indexer.ManagerOptions{
+			StructureBudget: cfg.StructureBudget,
+			Maintain:        cfg.MaintainStructures,
+		}),
 		defParts: defParts,
 	}
 }
@@ -245,21 +262,38 @@ func (e *Engine) Ingest(ctx context.Context, file string, partKey Key, rec Recor
 // happens until EnsureStructure or BuildStructures (lazy construction,
 // paper §III-D).
 func (e *Engine) RegisterStructure(spec StructureSpec) error {
-	return e.registry.Register(spec)
+	return e.manager.Register(spec)
 }
 
 // EnsureStructure builds the named structure if needed and waits until it
-// is queryable.
+// is queryable. Concurrent calls share one build; an evicted structure is
+// transparently rebuilt.
 func (e *Engine) EnsureStructure(ctx context.Context, name string) error {
-	return e.registry.Ensure(ctx, name)
+	return e.manager.Ensure(ctx, name)
 }
 
 // BuildStructures starts every registered structure build in the
 // background and waits for all of them.
 func (e *Engine) BuildStructures(ctx context.Context) error {
-	e.registry.StartAll(ctx)
-	return e.registry.WaitAll(ctx)
+	names := e.manager.Names()
+	for _, name := range names {
+		if _, err := e.manager.Build(name); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		if err := e.manager.Ensure(ctx, name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
+
+// Structures exposes the engine's structure lifecycle manager: per-spec
+// state (absent → building → ready → evicted), budgeted residency, and
+// lifecycle counters. Attach it to an httpapi.Server to serve
+// /v1/structures.
+func (e *Engine) Structures() *indexer.Manager { return e.manager }
 
 // Execute runs a job with SMPE (Algorithm 1): per-node queues, a worker
 // pool of Options.Threads goroutines per node (default 1000), inline
