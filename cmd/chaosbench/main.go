@@ -1,13 +1,14 @@
 // Command chaosbench drives the deterministic chaos + differential oracle
 // harness (internal/chaos, internal/oracle) from the command line: it runs
-// N seeded scenarios, each executed five ways (SMPE batched, SMPE
+// N seeded scenarios, each executed six ways (SMPE batched, SMPE
 // unbatched, SMPE under an armed chaos schedule, SMPE against a
 // lifecycle-managed rebuild of the scenario's index — built in flight,
-// then evicted and rebuilt on demand — and baseline scan), and exits
-// non-zero on any divergence. Every failure prints a single seed that
-// reproduces it; CI runs a short budget with -seed $GITHUB_RUN_ID so each
-// pipeline run explores fresh schedules while staying reproducible from
-// the logged seed.
+// then evicted and rebuilt on demand — SMPE against a crash-recovered
+// replica restored from a mid-workload checkpoint plus WAL replay, and
+// baseline scan), and exits non-zero on any divergence. Every failure
+// prints a single seed that reproduces it; CI runs a short budget with
+// -seed $GITHUB_RUN_ID so each pipeline run explores fresh schedules while
+// staying reproducible from the logged seed.
 //
 // With -timeline DIR, each divergence additionally writes the failing
 // arm's event timeline as Chrome trace-event JSON (loadable in Perfetto)
@@ -17,7 +18,7 @@
 // Usage:
 //
 //	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-lifecycle]
-//	    [-no-shrink] [-v] [-timeline chaos-artifacts]
+//	    [-no-restart] [-no-shrink] [-v] [-timeline chaos-artifacts]
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		n       = flag.Int("n", 25, "number of seeded scenarios to run")
 		noChaos = flag.Bool("no-chaos", false, "skip the chaos arm (clean differential only)")
 		noLifec = flag.Bool("no-lifecycle", false, "skip the structure-lifecycle arm")
+		noRest  = flag.Bool("no-restart", false, "skip the crash-recovery (smpe-restart) arm")
 		noShrnk = flag.Bool("no-shrink", false, "report chaos divergences without shrinking the schedule")
 		verbose = flag.Bool("v", false, "print every scenario, not only divergent ones")
 		tlDir   = flag.String("timeline", "", "write failing-arm timelines and repro files into this directory")
@@ -45,7 +47,7 @@ func main() {
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Lifecycle: !*noLifec}
+	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Lifecycle: !*noLifec, Restart: !*noRest}
 	start := time.Now()
 	diverged := 0
 	for i := 0; i < *n; i++ {

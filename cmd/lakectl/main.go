@@ -1,6 +1,8 @@
 // Command lakectl manages on-disk lake snapshots (internal/store): build a
-// snapshot from a generated dataset, inspect one, or verify that it
-// restores cleanly.
+// structure-aware snapshot from a generated dataset, inspect one, verify
+// that it restores cleanly, or restore a lakeserve data directory —
+// snapshot plus WAL tail plus structure registry — and optionally compact
+// it into a fresh checkpoint.
 //
 // Usage:
 //
@@ -8,6 +10,8 @@
 //	go run ./cmd/lakectl snapshot -kind claims -out lake.snap [-claims 10000]
 //	go run ./cmd/lakectl inspect  -in lake.snap
 //	go run ./cmd/lakectl verify   -in lake.snap
+//	go run ./cmd/lakectl restore  -data DIR -kind tpch [-out compact.snap]
+//	go run ./cmd/lakectl restore  -in lake.snap [-wal wal.log] -kind claims
 package main
 
 import (
@@ -16,10 +20,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
+	"time"
 
 	"lakeharbor/internal/claims"
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/store"
 	"lakeharbor/internal/tpch"
@@ -36,14 +43,60 @@ func main() {
 		cmdInspect(os.Args[2:])
 	case "verify":
 		cmdVerify(os.Args[2:])
+	case "restore":
+		cmdRestore(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl {snapshot|inspect|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl {snapshot|inspect|verify|restore} [flags]")
 	os.Exit(2)
+}
+
+// buildStructures registers and builds the dataset's managed structures so
+// the snapshot carries a real registry.
+func buildStructures(ctx context.Context, cluster *dfs.Cluster, kind string) (*indexer.Manager, error) {
+	switch kind {
+	case "tpch":
+		return tpch.BuildManaged(ctx, cluster, indexer.ManagerOptions{})
+	case "claims":
+		m := indexer.NewManager(ctx, cluster, indexer.ManagerOptions{})
+		spec := claims.DiseaseIndexSpec()
+		if err := m.Register(spec); err != nil {
+			return nil, err
+		}
+		if _, err := m.Build(spec.Name); err != nil {
+			return nil, err
+		}
+		if err := m.Ensure(ctx, spec.Name); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return nil, nil
+}
+
+// registerSpecs registers (without building) the dataset kind's structure
+// specs on a manager, so Recover can adopt checkpointed entries.
+func registerSpecs(m *indexer.Manager, kind string) error {
+	switch kind {
+	case "tpch":
+		for _, spec := range tpch.StructureSpecs() {
+			if err := m.Register(spec); err != nil {
+				return err
+			}
+		}
+	case "claims":
+		if err := m.Register(claims.DiseaseIndexSpec()); err != nil {
+			return err
+		}
+	case "none":
+	default:
+		return fmt.Errorf("unknown -kind %q", kind)
+	}
+	return nil
 }
 
 func cmdSnapshot(args []string) {
@@ -65,25 +118,31 @@ func cmdSnapshot(args []string) {
 		if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
 			log.Fatal(err)
 		}
-		if err := tpch.BuildStructures(ctx, cluster); err != nil {
-			log.Fatal(err)
-		}
 	case "claims":
 		corpus := claims.Generate(claims.Config{Claims: *nClaims, Seed: *seed})
-		if err := claims.LoadLake(ctx, cluster, corpus, 0); err != nil {
+		if err := claims.LoadLakeRaw(ctx, cluster, corpus, 0); err != nil {
 			log.Fatal(err)
 		}
 	default:
 		log.Fatalf("unknown -kind %q", *kind)
 	}
-	if err := store.SnapshotToPath(ctx, cluster, *out); err != nil {
+	mgr, err := buildStructures(ctx, cluster, *kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta := &store.SnapshotMeta{CatalogVersion: cluster.CatalogVersion()}
+	if mgr != nil {
+		meta.Structures = mgr.PersistEntries()
+	}
+	if err := store.CheckpointToPath(ctx, cluster, meta, *out); err != nil {
 		log.Fatal(err)
 	}
 	st, err := os.Stat(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d bytes, %d files)\n", *out, st.Size(), len(cluster.FileNames()))
+	fmt.Printf("wrote %s (%d bytes, %d files, %d structures, catalog v%d)\n",
+		*out, st.Size(), len(cluster.FileNames()), len(meta.Structures), meta.CatalogVersion)
 }
 
 func cmdInspect(args []string) {
@@ -92,11 +151,13 @@ func cmdInspect(args []string) {
 	fs.Parse(args)
 	ctx := context.Background()
 	cluster := dfs.NewCluster(dfs.Config{Nodes: 1})
-	if err := store.RestoreFromPath(ctx, *in, cluster); err != nil {
+	meta, err := store.ReadSnapshotFromPath(ctx, *in, cluster)
+	if err != nil {
 		log.Fatal(err)
 	}
 	names := cluster.FileNames()
 	sort.Strings(names)
+	fmt.Printf("catalog version %d\n", meta.CatalogVersion)
 	fmt.Printf("%-28s %-12s %-6s %10s %14s\n", "file", "partitioner", "parts", "records", "bytes")
 	for _, name := range names {
 		f, err := cluster.File(name)
@@ -114,6 +175,14 @@ func cmdInspect(args []string) {
 		fmt.Printf("%-28s %-12s %-6d %10d %14d\n",
 			name, f.Partitioner().Name(), f.NumPartitions(), n, bytes)
 	}
+	if len(meta.Structures) > 0 {
+		fmt.Printf("\n%-28s %-28s %-8s %-8s %12s %8s\n",
+			"structure", "base", "kind", "state", "bytes", "builds")
+		for _, pe := range meta.Structures {
+			fmt.Printf("%-28s %-28s %-8v %-8v %12d %8d\n",
+				pe.Name, pe.Base, pe.Kind, pe.State, pe.SizeBytes, pe.Builds)
+		}
+	}
 }
 
 func cmdVerify(args []string) {
@@ -122,7 +191,8 @@ func cmdVerify(args []string) {
 	fs.Parse(args)
 	ctx := context.Background()
 	cluster := dfs.NewCluster(dfs.Config{Nodes: 2})
-	if err := store.RestoreFromPath(ctx, *in, cluster); err != nil {
+	meta, err := store.ReadSnapshotFromPath(ctx, *in, cluster)
+	if err != nil {
 		log.Fatalf("snapshot is NOT valid: %v", err)
 	}
 	total := 0
@@ -133,6 +203,104 @@ func cmdVerify(args []string) {
 		}
 		total += n
 	}
-	fmt.Printf("snapshot OK: %d files, %d records, checksum verified\n",
-		len(cluster.FileNames()), total)
+	// Every structure entry must reference a base file that exists; ready
+	// entries must also have their index file present in the catalog.
+	for _, pe := range meta.Structures {
+		if _, err := cluster.File(pe.Base); err != nil {
+			log.Fatalf("snapshot is NOT valid: structure %s: base %q missing", pe.Name, pe.Base)
+		}
+		if pe.State == indexer.StateReady {
+			if _, err := cluster.File(pe.Name); err != nil {
+				log.Fatalf("snapshot is NOT valid: ready structure %q has no index file", pe.Name)
+			}
+		}
+	}
+	fmt.Printf("snapshot OK: %d files, %d records, %d structures, catalog v%d, checksum verified\n",
+		len(cluster.FileNames()), total, len(meta.Structures), meta.CatalogVersion)
+}
+
+// cmdRestore recovers a lake from its durable state — a snapshot plus an
+// optional WAL tail — exactly the way lakeserve boots: restore, replay,
+// then adopt the checkpointed structure registry without rebuilding. With
+// -out it writes the recovered state back as a fresh checkpoint, compacting
+// the WAL into the snapshot offline.
+func cmdRestore(args []string) {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	var (
+		data  = fs.String("data", "", "lakeserve data directory (reads DIR/snap.lake and DIR/wal.log)")
+		in    = fs.String("in", "", "snapshot path (alternative to -data)")
+		walIn = fs.String("wal", "", "WAL path to replay after the snapshot")
+		kind  = fs.String("kind", "none", "dataset kind whose structure specs to register: tpch | claims | none")
+		out   = fs.String("out", "", "write the recovered state as a fresh compacted snapshot")
+		nodes = fs.Int("nodes", 4, "simulated cluster nodes")
+	)
+	fs.Parse(args)
+	snapPath, walPath := *in, *walIn
+	if *data != "" {
+		if snapPath == "" {
+			snapPath = filepath.Join(*data, "snap.lake")
+		}
+		if walPath == "" {
+			walPath = filepath.Join(*data, "wal.log")
+		}
+	}
+	if snapPath == "" {
+		log.Fatal("restore: need -data DIR or -in SNAPSHOT")
+	}
+	ctx := context.Background()
+	cluster := dfs.NewCluster(dfs.Config{Nodes: *nodes})
+	start := time.Now()
+	meta, err := store.ReadSnapshotFromPath(ctx, snapPath, cluster)
+	if err != nil {
+		log.Fatalf("restore: %v", err)
+	}
+	walRecords := 0
+	if walPath != "" {
+		if _, err := os.Stat(walPath); err == nil {
+			walRecords, err = store.ReplayWAL(ctx, walPath, cluster)
+			if err != nil {
+				log.Fatalf("restore: replay %s: %v", walPath, err)
+			}
+		} else if *walIn != "" {
+			// An explicitly named WAL must exist; the -data default may not.
+			log.Fatalf("restore: %v", err)
+		}
+	}
+	mgr := indexer.NewManager(ctx, cluster, indexer.ManagerOptions{})
+	if err := registerSpecs(mgr, *kind); err != nil {
+		log.Fatalf("restore: %v", err)
+	}
+	st := mgr.Recover(meta.Structures)
+	total := 0
+	for _, name := range cluster.FileNames() {
+		n, err := cluster.Len(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += n
+	}
+	fmt.Printf("restored %s: %d files, %d records, %d WAL records replayed, "+
+		"%d structures ready / %d evicted / %d skipped (catalog v%d) in %v\n",
+		snapPath, len(cluster.FileNames()), total, walRecords,
+		st.Recovered, st.Evicted, st.Skipped, meta.CatalogVersion, time.Since(start).Round(time.Millisecond))
+	if st.RebuildCostSaved > 0 {
+		fmt.Printf("rebuild cost saved: %.0f\n", st.RebuildCostSaved)
+	}
+	if *out != "" {
+		outMeta := &store.SnapshotMeta{
+			CatalogVersion: meta.CatalogVersion,
+			Structures:     mgr.PersistEntries(),
+		}
+		if outMeta.CatalogVersion < cluster.CatalogVersion() {
+			outMeta.CatalogVersion = cluster.CatalogVersion()
+		}
+		if err := store.CheckpointToPath(ctx, cluster, outMeta, *out); err != nil {
+			log.Fatalf("restore: checkpoint: %v", err)
+		}
+		fst, err := os.Stat(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("compacted into %s (%d bytes)\n", *out, fst.Size())
+	}
 }

@@ -6,6 +6,7 @@
 //	go run ./cmd/lakeserve -addr :8080 -kind tpch   [-sf 0.1]
 //	go run ./cmd/lakeserve -addr :8080 -kind claims [-claims 10000]
 //	go run ./cmd/lakeserve -addr :8080 -snapshot lake.snap
+//	go run ./cmd/lakeserve -addr :8080 -kind tpch -data ./lakedata
 //
 // Then e.g.:
 //
@@ -20,12 +21,22 @@
 // ones are evicted; re-building is a POST away). Snapshot restores carry no
 // structure registry, so those servers run without lifecycle endpoints.
 //
+// With -data DIR the server is durable: on boot it recovers from
+// DIR/snap.lake + DIR/wal.log when they exist (structures come back ready
+// without rebuilding, recovery stats land in /debug/metrics), otherwise it
+// generates the dataset and writes the initial checkpoint. While serving,
+// ingests are WAL-logged write-ahead, catalog mutations are versioned and
+// WAL-logged through the catalog service, and checkpoints are taken
+// periodically (-interval), after every structure build finalizes, and on
+// SIGINT/SIGTERM before exit.
+//
 // Prometheus can scrape GET /debug/metrics on the same -addr (text
 // exposition format: execution counters, latency quantile summaries,
-// storage counters, and structure lifecycle counters); there is no separate
-// metrics listener. Pass -pprof to additionally expose the Go runtime
-// profiler under /debug/pprof/ — it is off by default because profile
-// endpoints should not be reachable on an unprotected admin port.
+// storage counters, structure lifecycle counters, catalog version, and
+// recovery gauges); there is no separate metrics listener. Pass -pprof to
+// additionally expose the Go runtime profiler under /debug/pprof/ — it is
+// off by default because profile endpoints should not be reachable on an
+// unprotected admin port.
 package main
 
 import (
@@ -35,12 +46,20 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
 
 	"lakeharbor/internal/advisor"
+	"lakeharbor/internal/catalog"
 	"lakeharbor/internal/claims"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/httpapi"
 	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/lake"
 	"lakeharbor/internal/store"
 	"lakeharbor/internal/tpch"
 )
@@ -50,6 +69,8 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		kind     = flag.String("kind", "tpch", "demo dataset: tpch | claims")
 		snapshot = flag.String("snapshot", "", "restore this snapshot instead of generating data")
+		dataDir  = flag.String("data", "", "durable data directory (snap.lake + wal.log): recover on boot, checkpoint while serving")
+		interval = flag.Duration("interval", 30*time.Second, "periodic checkpoint interval with -data (0 = only on signal and build)")
 		sf       = flag.Float64("sf", 0.1, "TPC-H micro scale factor")
 		nClaims  = flag.Int("claims", 10000, "number of claims")
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
@@ -60,49 +81,136 @@ func main() {
 	flag.Parse()
 	ctx := context.Background()
 	cluster := dfs.NewCluster(dfs.Config{Nodes: *nodes})
+
+	var pers *persistence
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		pers = &persistence{dir: *dataDir, cluster: cluster, trigger: make(chan struct{}, 1)}
+	}
 	mopts := indexer.ManagerOptions{
 		StructureBudget: *budget,
 		RebuildCost:     advisor.New(cluster, advisor.Config{}).BuildCostNs,
+		OnFinalize: func(name string, st indexer.State) {
+			if st == indexer.StateReady && pers != nil {
+				pers.requestCheckpoint()
+			}
+		},
 	}
 
-	var mgr *indexer.Manager
-	switch {
-	case *snapshot != "":
-		if err := store.RestoreFromPath(ctx, *snapshot, cluster); err != nil {
-			log.Fatal(err)
+	var (
+		mgr       *indexer.Manager
+		recovered bool
+		recInfo   httpapi.RecoveryInfo
+	)
+	if pers != nil {
+		if _, err := os.Stat(pers.snapPath()); err == nil {
+			start := time.Now()
+			meta, err := store.ReadSnapshotFromPath(ctx, pers.snapPath(), cluster)
+			if err != nil {
+				log.Fatalf("recover: snapshot: %v", err)
+			}
+			snapFiles := len(cluster.FileNames())
+			applied := 0
+			if _, err := os.Stat(pers.walPath()); err == nil {
+				applied, err = store.ReplayWAL(ctx, pers.walPath(), cluster)
+				if err != nil {
+					log.Fatalf("recover: wal replay: %v", err)
+				}
+			}
+			// Specs are re-registered from code (extractor functions cannot
+			// be serialized); Recover then matches the checkpointed registry
+			// entries by name and adopts the restored structures.
+			mgr = managerFor(ctx, cluster, *kind, mopts)
+			var stats indexer.RecoverStats
+			if mgr != nil {
+				stats = mgr.Recover(meta.Structures)
+			}
+			recovered = true
+			recInfo = httpapi.RecoveryInfo{
+				Recovered:         true,
+				SnapshotFiles:     snapFiles,
+				WALRecords:        applied,
+				StructuresReady:   stats.Recovered,
+				StructuresEvicted: stats.Evicted,
+				CatalogVersion:    meta.CatalogVersion,
+				Duration:          time.Since(start),
+			}
+			fmt.Printf("recovered %s: %d files, %d WAL records, %d structures ready / %d evicted (catalog v%d) in %v\n",
+				*dataDir, snapFiles, applied, stats.Recovered, stats.Evicted, meta.CatalogVersion,
+				recInfo.Duration.Round(time.Millisecond))
 		}
-		fmt.Printf("restored %s (%d files)\n", *snapshot, len(cluster.FileNames()))
-	case *kind == "tpch":
-		ds := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
-		if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
-			log.Fatal(err)
+	}
+	if !recovered {
+		switch {
+		case *snapshot != "":
+			if err := store.RestoreFromPath(ctx, *snapshot, cluster); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("restored %s (%d files)\n", *snapshot, len(cluster.FileNames()))
+		case *kind == "tpch":
+			ds := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
+			if err := tpch.Load(ctx, cluster, ds, 0); err != nil {
+				log.Fatal(err)
+			}
+			m, err := tpch.BuildManaged(ctx, cluster, mopts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mgr = m
+			fmt.Printf("loaded TPC-H SF=%g with managed structures\n", *sf)
+		case *kind == "claims":
+			corpus := claims.Generate(claims.Config{Claims: *nClaims, Seed: *seed})
+			if err := claims.LoadLakeRaw(ctx, cluster, corpus, 0); err != nil {
+				log.Fatal(err)
+			}
+			mgr = managerFor(ctx, cluster, *kind, mopts)
+			if err := mgr.Ensure(ctx, claims.IdxClaimsDise); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("loaded %d claims with managed disease index\n", *nClaims)
+		default:
+			log.Fatalf("unknown -kind %q", *kind)
 		}
-		m, err := tpch.BuildManaged(ctx, cluster, mopts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mgr = m
-		fmt.Printf("loaded TPC-H SF=%g with managed structures\n", *sf)
-	case *kind == "claims":
-		corpus := claims.Generate(claims.Config{Claims: *nClaims, Seed: *seed})
-		if err := claims.LoadLakeRaw(ctx, cluster, corpus, 0); err != nil {
-			log.Fatal(err)
-		}
-		mgr = indexer.NewManager(ctx, cluster, mopts)
-		if err := mgr.Register(claims.DiseaseIndexSpec()); err != nil {
-			log.Fatal(err)
-		}
-		if err := mgr.Ensure(ctx, claims.IdxClaimsDise); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("loaded %d claims with managed disease index\n", *nClaims)
-	default:
-		log.Fatalf("unknown -kind %q", *kind)
 	}
 
 	api := httpapi.New(cluster)
 	if mgr != nil {
 		api.AttachStructures(mgr)
+	}
+	if pers != nil {
+		wal, err := store.OpenWAL(pers.walPath())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pers.wal = wal
+		pers.mgr = mgr
+		pers.svc = catalog.Attach(cluster, wal)
+		// The initial checkpoint covers everything loaded or recovered so
+		// far and empties the WAL; from here on the log only carries the
+		// delta since the latest checkpoint.
+		if err := pers.checkpoint(ctx); err != nil {
+			log.Fatalf("initial checkpoint: %v", err)
+		}
+		go pers.loop(ctx, *interval)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := pers.checkpoint(ctx); err != nil {
+				log.Printf("shutdown checkpoint: %v", err)
+				os.Exit(1)
+			}
+			fmt.Println("checkpointed; exiting")
+			os.Exit(0)
+		}()
+		api.SetIngestHook(pers.logIngest)
+		api.AttachCatalog(pers.svc)
+		if recovered {
+			api.AttachRecovery(recInfo)
+		}
+		fmt.Printf("durable in %s (checkpoint interval %v)\n", *dataDir, *interval)
 	}
 	var handler http.Handler = api
 	if *enablePP {
@@ -121,4 +229,111 @@ func main() {
 	}
 	fmt.Printf("serving LakeHarbor API on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// managerFor builds a lifecycle manager with the demo dataset's structure
+// specs registered (not built) — the registrations recovery matches
+// checkpointed entries against. Returns nil for kinds without specs.
+func managerFor(ctx context.Context, cluster *dfs.Cluster, kind string, mopts indexer.ManagerOptions) *indexer.Manager {
+	switch kind {
+	case "tpch":
+		m := indexer.NewManager(ctx, cluster, mopts)
+		for _, spec := range tpch.StructureSpecs() {
+			if err := m.Register(spec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return m
+	case "claims":
+		m := indexer.NewManager(ctx, cluster, mopts)
+		if err := m.Register(claims.DiseaseIndexSpec()); err != nil {
+			log.Fatal(err)
+		}
+		return m
+	default:
+		return nil
+	}
+}
+
+// persistence ties the durable pieces together: one mutex brackets
+// {snapshot atomically, truncate WAL} against concurrent ingest logging, so
+// a record is always covered by exactly one of checkpoint or log.
+type persistence struct {
+	dir     string
+	cluster *dfs.Cluster
+	wal     *store.WAL
+	mgr     *indexer.Manager
+	svc     *catalog.Service
+	trigger chan struct{}
+
+	mu sync.Mutex
+}
+
+func (p *persistence) snapPath() string { return filepath.Join(p.dir, "snap.lake") }
+func (p *persistence) walPath() string  { return filepath.Join(p.dir, "wal.log") }
+
+// logIngest is the write-ahead ingest hook: the record is framed, flushed,
+// and fsynced before httpapi applies it to the cluster.
+func (p *persistence) logIngest(file string, partKey lake.Key, rec lake.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.wal.Append(file, partKey, rec); err != nil {
+		return err
+	}
+	return p.wal.Sync()
+}
+
+// checkpoint writes an atomic v2 snapshot (files + catalog version +
+// structure registry) and truncates the WAL under the same lock.
+func (p *persistence) checkpoint(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	meta := &store.SnapshotMeta{CatalogVersion: p.cluster.CatalogVersion()}
+	if p.mgr != nil {
+		meta.Structures = p.mgr.PersistEntries()
+	}
+	if err := store.CheckpointToPath(ctx, p.cluster, meta, p.snapPath()); err != nil {
+		return err
+	}
+	return p.wal.Truncate()
+}
+
+// requestCheckpoint schedules an asynchronous checkpoint (coalescing with
+// one already pending). Build finalization calls it so freshly built
+// structures reach the snapshot promptly.
+func (p *persistence) requestCheckpoint() {
+	select {
+	case p.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// loop runs periodic and requested checkpoints.
+func (p *persistence) loop(ctx context.Context, every time.Duration) {
+	var tick <-chan time.Time
+	if every > 0 {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+		case <-p.trigger:
+			// Brief settle so a burst of build finalizations coalesces into
+			// one checkpoint.
+			time.Sleep(100 * time.Millisecond)
+			for {
+				select {
+				case <-p.trigger:
+					continue
+				default:
+				}
+				break
+			}
+		}
+		if err := p.checkpoint(ctx); err != nil {
+			log.Printf("checkpoint: %v", err)
+		}
+	}
 }

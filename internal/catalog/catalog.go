@@ -1,0 +1,143 @@
+// Package catalog promotes the cluster's file catalog to a small versioned
+// metadata service, in the spirit of TreeCat and the data-lake metadata
+// surveys: every catalog mutation gets a monotonically increasing version,
+// readers take transactional snapshot views (a consistent version plus the
+// file set at that version), and mutations are logged through the store WAL
+// so the catalog itself survives a crash between checkpoints.
+//
+// The service mirrors the dfs.Cluster catalog through its mutation hook
+// rather than wrapping every call, so existing code keeps creating and
+// dropping files on the cluster directly and still gets versioned,
+// durable metadata.
+package catalog
+
+import (
+	"sort"
+	"sync"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/store"
+)
+
+// FileMeta describes one catalog entry at some version.
+type FileMeta struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Partitions  int    `json:"partitions"`
+	Partitioner string `json:"partitioner"`
+	// CreatedVersion is the catalog version whose mutation created the file.
+	CreatedVersion uint64 `json:"created_version"`
+}
+
+// View is one transactional catalog read: the version and the complete file
+// set as of that version, sorted by name. A View never changes after it is
+// taken, so the planner, advisor, and lifecycle manager can share one View
+// and be guaranteed to reason about the same catalog.
+type View struct {
+	Version uint64     `json:"version"`
+	Files   []FileMeta `json:"files"`
+}
+
+// Service is the versioned metadata service over one cluster's catalog.
+type Service struct {
+	mu      sync.RWMutex
+	version uint64
+	files   map[string]FileMeta
+	wal     *store.WAL
+	walErr  error
+}
+
+// Attach builds a Service mirroring the cluster's current catalog and
+// installs it as the cluster's catalog hook. When wal is non-nil every
+// subsequent catalog mutation is also logged as a WAL catalog frame, so
+// replay reconstructs files created or dropped after the last checkpoint.
+func Attach(cluster *dfs.Cluster, wal *store.WAL) *Service {
+	s := &Service{files: make(map[string]FileMeta), wal: wal}
+	for _, name := range cluster.FileNames() {
+		f, err := cluster.File(name)
+		if err != nil {
+			continue
+		}
+		kind := "heap"
+		if k, ok := f.(interface{ Kind() dfs.Kind }); ok && k.Kind() == dfs.Btree {
+			kind = "btree"
+		}
+		s.files[name] = FileMeta{
+			Name:        name,
+			Kind:        kind,
+			Partitions:  f.NumPartitions(),
+			Partitioner: f.Partitioner().Name(),
+		}
+	}
+	s.version = cluster.CatalogVersion()
+	cluster.SetCatalogHook(s.onEvent)
+	return s
+}
+
+// onEvent mirrors one catalog mutation. It runs under the cluster's catalog
+// lock, so events arrive strictly in version order.
+func (s *Service) onEvent(ev dfs.CatalogEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version = ev.Version
+	if ev.Drop {
+		delete(s.files, ev.Name)
+	} else {
+		s.files[ev.Name] = FileMeta{
+			Name:           ev.Name,
+			Kind:           ev.Kind.String(),
+			Partitions:     ev.Partitions,
+			Partitioner:    ev.Partitioner.Name(),
+			CreatedVersion: ev.Version,
+		}
+	}
+	if s.wal != nil {
+		err := s.wal.AppendCatalogOp(store.CatalogOp{
+			Drop:        ev.Drop,
+			Name:        ev.Name,
+			Kind:        ev.Kind,
+			Partitions:  ev.Partitions,
+			Partitioner: ev.Partitioner,
+		})
+		if err != nil && s.walErr == nil {
+			s.walErr = err
+		}
+	}
+}
+
+// Version returns the current catalog version.
+func (s *Service) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Len returns the number of cataloged files.
+func (s *Service) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
+
+// Snapshot returns a transactional view: the version and the file set as of
+// that version.
+func (s *Service) Snapshot() View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := View{Version: s.version, Files: make([]FileMeta, 0, len(s.files))}
+	for _, f := range s.files {
+		v.Files = append(v.Files, f)
+	}
+	sort.Slice(v.Files, func(i, j int) bool { return v.Files[i].Name < v.Files[j].Name })
+	return v
+}
+
+// WALError reports the first error hit while logging catalog mutations to
+// the WAL (nil when logging has been clean or no WAL is attached). The hook
+// runs where mutations cannot return errors, so failures are surfaced here
+// for the serving layer to export.
+func (s *Service) WALError() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walErr
+}

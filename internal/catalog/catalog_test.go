@@ -1,0 +1,162 @@
+package catalog
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/store"
+)
+
+func TestAttachMirrorsExistingCatalog(t *testing.T) {
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	if _, err := c.CreateFile("pre_heap", dfs.Heap, 2, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile("pre_tree", dfs.Btree, 4, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	svc := Attach(c, nil)
+	if svc.Version() != c.CatalogVersion() {
+		t.Fatalf("service version %d, cluster %d", svc.Version(), c.CatalogVersion())
+	}
+	v := svc.Snapshot()
+	if len(v.Files) != 2 {
+		t.Fatalf("view has %d files, want 2", len(v.Files))
+	}
+	if v.Files[0].Name != "pre_heap" || v.Files[0].Kind != "heap" || v.Files[0].Partitions != 2 {
+		t.Fatalf("pre_heap meta wrong: %+v", v.Files[0])
+	}
+	if v.Files[1].Name != "pre_tree" || v.Files[1].Kind != "btree" || v.Files[1].Partitions != 4 {
+		t.Fatalf("pre_tree meta wrong: %+v", v.Files[1])
+	}
+}
+
+func TestVersionsAreMonotonicAndStamped(t *testing.T) {
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	svc := Attach(c, nil)
+	v0 := svc.Version()
+	if _, err := c.CreateFile("a", dfs.Heap, 1, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := svc.Snapshot()
+	if v1.Version != v0+1 {
+		t.Fatalf("create bumped version to %d, want %d", v1.Version, v0+1)
+	}
+	if v1.Files[0].CreatedVersion != v1.Version {
+		t.Fatalf("created_version %d, want %d", v1.Files[0].CreatedVersion, v1.Version)
+	}
+	c.DropFile("a")
+	if got := svc.Version(); got != v0+2 {
+		t.Fatalf("drop bumped version to %d, want %d", got, v0+2)
+	}
+	if svc.Len() != 0 {
+		t.Fatalf("service still tracks %d files after drop", svc.Len())
+	}
+	// Dropping a missing file must NOT consume a version: no mutation, no
+	// bump.
+	c.DropFile("a")
+	if got := svc.Version(); got != v0+2 {
+		t.Fatalf("no-op drop bumped version to %d", got)
+	}
+}
+
+// TestSnapshotViewIsTransactional pins the read contract: a View taken
+// before a mutation keeps both its version and its file set.
+func TestSnapshotViewIsTransactional(t *testing.T) {
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	svc := Attach(c, nil)
+	if _, err := c.CreateFile("stable", dfs.Heap, 1, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Snapshot()
+	if _, err := c.CreateFile("later", dfs.Heap, 1, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	c.DropFile("stable")
+	if len(before.Files) != 1 || before.Files[0].Name != "stable" {
+		t.Fatalf("view mutated after the fact: %+v", before.Files)
+	}
+	after := svc.Snapshot()
+	if after.Version <= before.Version || len(after.Files) != 1 || after.Files[0].Name != "later" {
+		t.Fatalf("current view wrong: %+v", after)
+	}
+}
+
+// TestCatalogMutationsReplayThroughWAL is the durability path: mutations
+// logged by the service must reconstruct the same catalog via ReplayWAL.
+func TestCatalogMutationsReplayThroughWAL(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "cat.wal")
+	wal, err := store.OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	svc := Attach(c, wal)
+
+	if _, err := c.CreateFile("kept", dfs.Btree, 3, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	rp := lake.NewRangePartitioner(keycodec.Int64(10))
+	if _, err := c.CreateFile("ranged", dfs.Heap, 2, rp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile("doomed", dfs.Heap, 1, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	c.DropFile("doomed")
+	if err := svc.WALError(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := dfs.NewCluster(dfs.Config{Nodes: 2})
+	if _, err := store.ReplayWAL(ctx, walPath, rec); err != nil {
+		t.Fatal(err)
+	}
+	names := rec.FileNames()
+	if len(names) != 2 {
+		t.Fatalf("replayed catalog %v, want kept+ranged", names)
+	}
+	kept, err := rec.File("kept")
+	if err != nil || kept.NumPartitions() != 3 {
+		t.Fatalf("kept not reconstructed: %v", err)
+	}
+	ranged, err := rec.File("ranged")
+	if err != nil || ranged.Partitioner().Name() != "range" {
+		t.Fatalf("ranged partitioner not reconstructed: %v", err)
+	}
+}
+
+// TestWALErrorSurfaces: logging failures cannot propagate through the
+// mutation hook, so they must show up via WALError.
+func TestWALErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "dead.wal")
+	wal, err := store.OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	svc := Attach(c, wal)
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile("after-close", dfs.Heap, 1, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	if svc.WALError() == nil {
+		t.Fatal("mutation against a closed WAL must surface through WALError")
+	}
+	if _, err := os.Stat(walPath); err != nil {
+		t.Fatal(err)
+	}
+}

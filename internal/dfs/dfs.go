@@ -61,9 +61,43 @@ type Cluster struct {
 
 	mu    sync.RWMutex
 	files map[string]*file
+	// version is the catalog version: it starts at 0 and increments on
+	// every successful CreateFile/DropFile, making any catalog read
+	// stampable with the exact catalog it observed.
+	version     uint64
+	catalogHook func(CatalogEvent)
 
 	listenerMu sync.RWMutex
 	listeners  []AppendListener
+}
+
+// CatalogEvent describes one catalog mutation: the version it produced and
+// the file created or dropped (Partitions/Partitioner are zero for drops).
+type CatalogEvent struct {
+	Version     uint64
+	Drop        bool
+	Name        string
+	Kind        Kind
+	Partitions  int
+	Partitioner lake.Partitioner
+}
+
+// SetCatalogHook installs the observer invoked — under the catalog lock, so
+// events arrive in version order — after every catalog mutation. The
+// versioned catalog service uses it to mirror the catalog and log mutations
+// to the WAL. Only one hook is supported; the hook must not call back into
+// catalog mutations.
+func (c *Cluster) SetCatalogHook(fn func(CatalogEvent)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.catalogHook = fn
+}
+
+// CatalogVersion returns the current catalog version.
+func (c *Cluster) CatalogVersion() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // AppendListener observes every record appended to any file; the structure
@@ -153,15 +187,30 @@ func (c *Cluster) CreateFile(name string, kind Kind, partitions int, p lake.Part
 		f.parts = append(f.parts, &partition{tree: btree.New()})
 	}
 	c.files[name] = f
+	c.version++
+	if c.catalogHook != nil {
+		c.catalogHook(CatalogEvent{
+			Version: c.version, Name: name, Kind: kind,
+			Partitions: partitions, Partitioner: p,
+		})
+	}
 	return f, nil
 }
 
 // DropFile removes a file from the catalog (used by tests and by the
-// structure builder when replacing an index).
+// structure builder when replacing an index). Dropping a file that does not
+// exist is a no-op and does not bump the catalog version.
 func (c *Cluster) DropFile(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.files[name]; !ok {
+		return
+	}
 	delete(c.files, name)
+	c.version++
+	if c.catalogHook != nil {
+		c.catalogHook(CatalogEvent{Version: c.version, Drop: true, Name: name})
+	}
 }
 
 // File implements lake.Catalog.

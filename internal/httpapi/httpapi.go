@@ -21,6 +21,7 @@ import (
 	"strings"
 	"unicode/utf8"
 
+	"lakeharbor/internal/catalog"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/keycodec"
@@ -34,6 +35,9 @@ type Server struct {
 	mux        *http.ServeMux
 	traces     *trace.Registry
 	structures *indexer.Manager // nil until AttachStructures
+	catalog    *catalog.Service // nil until AttachCatalog
+	recovery   *RecoveryInfo    // nil until AttachRecovery
+	ingestHook IngestHook       // nil unless SetIngestHook
 }
 
 // New builds a Server for the cluster.
@@ -44,6 +48,7 @@ func New(cluster *dfs.Cluster) *Server {
 		traces:  trace.NewRegistry(0),
 	}
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /v1/catalog/version", s.handleCatalogVersion)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/files/{name}", s.handleFile)
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
@@ -329,7 +334,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	if err := dfs.AppendRouted(r.Context(), f, partKey, lake.Record{Key: key, Data: data}); err != nil {
+	rec := lake.Record{Key: key, Data: data}
+	if s.ingestHook != nil {
+		// Write-ahead: the record must be durable in the log before it is
+		// visible in the lake.
+		if err := s.ingestHook(req.File, partKey, rec); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("httpapi: wal: %w", err))
+			return
+		}
+	}
+	if err := dfs.AppendRouted(r.Context(), f, partKey, rec); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

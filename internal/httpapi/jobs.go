@@ -226,6 +226,7 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
 	s.writeLifecycleMetrics(w)
+	s.writePersistenceMetrics(w)
 }
 
 // RecordTrace lets callers that execute jobs against the same cluster

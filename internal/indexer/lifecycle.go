@@ -63,6 +63,12 @@ type ManagerOptions struct {
 	// Maintainer, using the buffered→live hand-over for builds so records
 	// appended mid-build are indexed exactly once.
 	Maintain bool
+	// OnFinalize, when set, is called (outside the manager's mutex, after
+	// waiters are released) each time a build attempt settles, with the
+	// structure's name and resulting state — StateReady on success,
+	// StateAbsent on failure. Durability layers hook checkpoints here so a
+	// freshly built structure reaches the snapshot promptly.
+	OnFinalize func(name string, st State)
 }
 
 // LifecycleCounters is a snapshot of the manager's lifetime counters.
@@ -429,8 +435,12 @@ func (m *Manager) finalize(e *managed, att *attempt) {
 		m.touchLocked(e)
 		m.enforceBudgetLocked(e)
 	}
+	st := e.state
 	m.mu.Unlock()
 	close(att.done)
+	if m.opts.OnFinalize != nil {
+		m.opts.OnFinalize(e.spec.Name, st)
+	}
 }
 
 // sizeLocked refreshes and returns the entry's modeled resident size.

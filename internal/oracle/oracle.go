@@ -3,7 +3,9 @@
 // the job is executed several ways — SMPE batched, SMPE unbatched, SMPE
 // under an armed chaos schedule, SMPE against a lifecycle-managed rebuild
 // of the scenario's index (built in flight, then evicted and rebuilt on
-// demand), and an independent baseline scan engine (the expected answer).
+// demand), SMPE against a crash-recovered replica (checkpoint taken
+// mid-workload, WAL-logged tail, fresh cluster + manager recovery), and an
+// independent baseline scan engine (the expected answer).
 // Any difference in the result multiset, any per-stage
 // emit-count disagreement between the SMPE arms, or any violated trace
 // invariant is a reported divergence that reproduces from the seed alone;
@@ -40,6 +42,13 @@ type Options struct {
 	// Ensure), and again after a forced evict triggers rebuild-on-demand.
 	// Both runs must reproduce the oracle answer.
 	Lifecycle bool
+	// Restart enables the sixth arm: the cluster is checkpointed mid-
+	// workload, post-checkpoint mutations go through a real on-disk WAL, and
+	// a fresh cluster + lifecycle manager recover from snapshot + replay +
+	// structure registry. The recovered world must reproduce the oracle
+	// answer, the per-file record counts, and the structure registry of the
+	// uninterrupted run — without starting a single build.
+	Restart bool
 }
 
 // Report is the outcome of one seeded differential run.
@@ -136,11 +145,17 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 		}
 	}
 	if opts.Lifecycle {
-		// Last arm: it mutates the scenario's index (drop + managed rebuild
+		// Late arm: it mutates the scenario's index (drop + managed rebuild
 		// to an equivalent file), so every arm that expects the hand-built
 		// one has already run.
 		res, fails := runLifecycleArm(ctx, sc)
 		note("smpe-lifecycle", res, fails)
+	}
+	if opts.Restart {
+		// Last arm: it appends post-checkpoint records to the base and
+		// creates a scratch file, so every other arm has already run.
+		res, fails := runRestartArm(ctx, sc)
+		note("smpe-restart", res, fails)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

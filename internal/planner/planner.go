@@ -146,6 +146,11 @@ type Plan struct {
 	// BuildWait is how long planning waited on in-flight structure builds
 	// (bounded by Planner.MaxBuildWait).
 	BuildWait time.Duration
+	// CatalogVersion is the catalog version the plan was made against
+	// (0 when the planner has no catalog attached). It travels into the
+	// execution trace so a plan and the catalog it observed can be lined up
+	// after the fact.
+	CatalogVersion uint64
 	// EstimatedDriverRows is the sampled estimate of rows matching the
 	// driving predicate.
 	EstimatedDriverRows int64
@@ -175,6 +180,9 @@ func (p *Plan) Route() string {
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query %q: strategy=%s\n", p.Query.Name, p.Strategy)
+	if p.CatalogVersion > 0 {
+		fmt.Fprintf(&b, "  catalog version: %d\n", p.CatalogVersion)
+	}
 	if p.Degraded {
 		fmt.Fprintf(&b, "  degraded: structure %q not ready (waited %v); scan fallback\n", p.NotReady, p.BuildWait)
 	}
@@ -219,6 +227,15 @@ type Planner struct {
 	// in-flight structure builds before degrading to the scan path. Zero
 	// never waits.
 	MaxBuildWait time.Duration
+	// Catalog, when set, stamps each plan with the catalog version it was
+	// planned against (catalog.Service satisfies this).
+	Catalog CatalogVersions
+}
+
+// CatalogVersions reports a monotonically increasing catalog version; it is
+// the planner's window into the versioned metadata service.
+type CatalogVersions interface {
+	Version() uint64
 }
 
 // New returns a Planner over the cluster. coresPerNode configures the scan
@@ -251,6 +268,12 @@ func (pl *Planner) Plan(ctx context.Context, q *Query) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	// The catalog version is read once, up front: everything the plan then
+	// observes (structure states, file sizes) is attributed to it.
+	var cv uint64
+	if pl.Catalog != nil {
+		cv = pl.Catalog.Version()
+	}
 	if pl.Structures != nil {
 		var waited time.Duration
 		for _, name := range q.structureNames() {
@@ -262,22 +285,28 @@ func (pl *Planner) Plan(ctx context.Context, q *Query) (*Plan, error) {
 			waited += w
 			if !ready {
 				return &Plan{
-					Query:     q,
-					Strategy:  ScanPlan,
-					Degraded:  true,
-					NotReady:  name,
-					BuildWait: waited,
-					planner:   pl,
+					Query:          q,
+					Strategy:       ScanPlan,
+					Degraded:       true,
+					NotReady:       name,
+					BuildWait:      waited,
+					CatalogVersion: cv,
+					planner:        pl,
 				}, nil
 			}
 		}
 		p, err := pl.planCosted(ctx, q)
 		if p != nil {
 			p.BuildWait = waited
+			p.CatalogVersion = cv
 		}
 		return p, err
 	}
-	return pl.planCosted(ctx, q)
+	p, err := pl.planCosted(ctx, q)
+	if p != nil {
+		p.CatalogVersion = cv
+	}
+	return p, err
 }
 
 // planCosted is the cost-based strategy choice over structures assumed
@@ -320,6 +349,7 @@ func (p *Plan) Execute(ctx context.Context) (*core.Result, error) {
 		if err == nil && res.Trace != nil {
 			res.Trace.Route = p.Route()
 			res.Trace.BuildWait = p.BuildWait
+			res.Trace.CatalogVersion = p.CatalogVersion
 		}
 		return res, err
 	default:
@@ -331,6 +361,7 @@ func (p *Plan) Execute(ctx context.Context) (*core.Result, error) {
 			}
 			res.Trace.Route = p.Route()
 			res.Trace.BuildWait = p.BuildWait
+			res.Trace.CatalogVersion = p.CatalogVersion
 		}
 		return res, err
 	}

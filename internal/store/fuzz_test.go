@@ -1,0 +1,42 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"lakeharbor/internal/dfs"
+)
+
+// FuzzRestore drives ReadSnapshot with arbitrary bytes. The invariants under
+// fuzzing are exactly the restore contract: no panic, no runaway allocation
+// (the length bounds), and all-or-nothing application — any error leaves the
+// catalog completely empty.
+func FuzzRestore(f *testing.F) {
+	ctx := context.Background()
+
+	// Seed corpus: a real v2 snapshot with metadata, a real v1 snapshot,
+	// their truncations and bit-flips, and junk.
+	src := buildCluster(f)
+	var v2 bytes.Buffer
+	if err := WriteSnapshot(ctx, src, testMeta(), &v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	flipped := append([]byte(nil), v2.Bytes()...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte(snapshotMagicV1))
+	f.Add([]byte(snapshotMagicV2))
+	f.Add([]byte("not a snapshot at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cluster := dfs.NewCluster(dfs.Config{Nodes: 2})
+		_, err := ReadSnapshot(ctx, bytes.NewReader(data), cluster)
+		if err != nil && len(cluster.FileNames()) != 0 {
+			t.Fatalf("failed restore left %d files in the catalog", len(cluster.FileNames()))
+		}
+	})
+}

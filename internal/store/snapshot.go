@@ -2,9 +2,12 @@
 // layer for LakeHarbor workloads: durable on-disk snapshots of a cluster's
 // files and a write-ahead log for the raw ingest stream between snapshots.
 //
-// The snapshot format is a single self-describing stream:
+// The snapshot format is a single self-describing stream. Format v2
+// ("LAKEHB2") is the current writer; v1 ("LAKEHB1") snapshots remain
+// readable:
 //
-//	magic "LAKEHB1\n"
+//	magic "LAKEHB2\n"
+//	uint64 catalog version
 //	uint32 file count
 //	per file (sorted by name):
 //	  string  name
@@ -15,29 +18,51 @@
 //	  per partition:
 //	    uint64 record count
 //	    per record: string key, bytes data
+//	uint32 structure registry entry count
+//	per entry (sorted by name):
+//	  string  name
+//	  string  base
+//	  byte    kind            (0 = local, 1 = global)
+//	  byte    state           (0 = ready, 1 = evicted)
+//	  uint64  modeled size bytes
+//	  uint64  rebuild cost    (math.Float64bits)
+//	  uint64  completed builds
 //	uint32 CRC-32 (IEEE) of everything after the magic
 //
-// Strings and byte slices are uint32-length-prefixed; integers are
-// little-endian. The trailing checksum makes torn or corrupted snapshots
-// detectable at restore time.
+// v1 has no catalog version and no structure registry section. Strings and
+// byte slices are uint32-length-prefixed; integers are little-endian. The
+// trailing checksum makes torn or corrupted snapshots detectable at restore
+// time; restore verifies it BEFORE any record reaches the live cluster, so
+// a corrupted snapshot never pollutes the catalog.
 package store
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
+	"syscall"
 
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/lake"
 )
 
-const snapshotMagic = "LAKEHB1\n"
+const (
+	snapshotMagicV1 = "LAKEHB1\n"
+	snapshotMagicV2 = "LAKEHB2\n"
+	// snapshotMagic is the magic the writer emits.
+	snapshotMagic = snapshotMagicV2
+)
 
 const (
 	kindHeap  byte = 0
@@ -45,13 +70,51 @@ const (
 
 	partHash  byte = 0
 	partRange byte = 1
+
+	structLocal  byte = 0
+	structGlobal byte = 1
+
+	structReady   byte = 0
+	structEvicted byte = 1
 )
 
 // maxSaneLen guards length prefixes when reading untrusted snapshots.
 const maxSaneLen = 1 << 30
 
-// Snapshot serializes every file of the cluster to w.
+// maxSaneParts bounds a restored file's partition count: a corrupt uint32
+// must not drive CreateFile into allocating an absurd number of partitions.
+const maxSaneParts = 1 << 20
+
+// maxSaneCount bounds file and structure-registry counts.
+const maxSaneCount = 1 << 24
+
+// SnapshotMeta is the v2 metadata section: the catalog version the snapshot
+// captured and the structure-registry entries a lifecycle manager needs to
+// recover built structures into their residency states without rebuilding.
+type SnapshotMeta struct {
+	// CatalogVersion is the cluster's monotonic catalog version at
+	// checkpoint time.
+	CatalogVersion uint64
+	// Structures describes every persisted managed structure. The
+	// structures' contents travel as ordinary catalog files; these entries
+	// carry the lifecycle state (ready/evicted), modeled size, and rebuild
+	// cost that indexer.Manager.Recover re-installs on boot.
+	Structures []indexer.PersistEntry
+}
+
+// Snapshot serializes every file of the cluster to w with an empty metadata
+// section. Use WriteSnapshot to checkpoint structure-registry state too.
 func Snapshot(ctx context.Context, cluster *dfs.Cluster, w io.Writer) error {
+	return WriteSnapshot(ctx, cluster, nil, w)
+}
+
+// WriteSnapshot serializes the cluster's files plus the given metadata
+// (catalog version + structure registry) to w in format v2. A nil meta
+// writes an empty metadata section.
+func WriteSnapshot(ctx context.Context, cluster *dfs.Cluster, meta *SnapshotMeta, w io.Writer) error {
+	if meta == nil {
+		meta = &SnapshotMeta{}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -59,6 +122,9 @@ func Snapshot(ctx context.Context, cluster *dfs.Cluster, w io.Writer) error {
 	sum := crc32.NewIEEE()
 	out := io.MultiWriter(bw, sum)
 
+	if err := writeU64(out, meta.CatalogVersion); err != nil {
+		return err
+	}
 	names := cluster.FileNames()
 	sort.Strings(names)
 	if err := writeU32(out, uint32(len(names))); err != nil {
@@ -69,6 +135,16 @@ func Snapshot(ctx context.Context, cluster *dfs.Cluster, w io.Writer) error {
 			return fmt.Errorf("store: snapshot %q: %w", name, err)
 		}
 	}
+	entries := append([]indexer.PersistEntry(nil), meta.Structures...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	if err := writeU32(out, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := writeStructureEntry(out, e); err != nil {
+			return fmt.Errorf("store: snapshot structure %q: %w", e.Name, err)
+		}
+	}
 	if err := writeU32(bw, sum.Sum32()); err != nil {
 		return err
 	}
@@ -77,12 +153,21 @@ func Snapshot(ctx context.Context, cluster *dfs.Cluster, w io.Writer) error {
 
 // SnapshotToPath writes a snapshot to a file, atomically via a temp file.
 func SnapshotToPath(ctx context.Context, cluster *dfs.Cluster, path string) error {
+	return CheckpointToPath(ctx, cluster, nil, path)
+}
+
+// CheckpointToPath writes a v2 snapshot (files + metadata) to path,
+// atomically: the stream goes to a temp file that is fsynced, renamed into
+// place, and made durable by fsyncing the parent directory — without the
+// directory fsync a crash shortly after the rename can silently lose the
+// whole snapshot. The temp file is removed on every error path.
+func CheckpointToPath(ctx context.Context, cluster *dfs.Cluster, meta *SnapshotMeta, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Snapshot(ctx, cluster, f); err != nil {
+	if err := WriteSnapshot(ctx, cluster, meta, f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -96,7 +181,26 @@ func SnapshotToPath(ctx context.Context, cluster *dfs.Cluster, path string) erro
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that cannot fsync directories (EINVAL/ENOTSUP) are tolerated:
+// on those there is nothing stronger available.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 func snapshotFile(ctx context.Context, cluster *dfs.Cluster, name string, w io.Writer) error {
@@ -114,25 +218,8 @@ func snapshotFile(ctx context.Context, cluster *dfs.Cluster, name string, w io.W
 	if err := writeByte(w, kind); err != nil {
 		return err
 	}
-	switch p := f.Partitioner().(type) {
-	case lake.HashPartitioner:
-		if err := writeByte(w, partHash); err != nil {
-			return err
-		}
-	case lake.RangePartitioner:
-		if err := writeByte(w, partRange); err != nil {
-			return err
-		}
-		if err := writeU32(w, uint32(len(p.Bounds))); err != nil {
-			return err
-		}
-		for _, b := range p.Bounds {
-			if err := writeString(w, b); err != nil {
-				return err
-			}
-		}
-	default:
-		return fmt.Errorf("unsupported partitioner %q", f.Partitioner().Name())
+	if err := writePartitioner(w, f.Partitioner()); err != nil {
+		return err
 	}
 	if err := writeU32(w, uint32(f.NumPartitions())); err != nil {
 		return err
@@ -161,119 +248,317 @@ func snapshotFile(ctx context.Context, cluster *dfs.Cluster, name string, w io.W
 	return nil
 }
 
-// Restore reads a snapshot and recreates its files on the cluster. Files
-// that already exist in the catalog make the restore fail before any
-// partial state is created for them.
-func Restore(ctx context.Context, r io.Reader, cluster *dfs.Cluster) error {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("store: reading magic: %w", err)
-	}
-	if string(magic) != snapshotMagic {
-		return fmt.Errorf("store: bad magic %q", magic)
-	}
-	sum := crc32.NewIEEE()
-	tr := &teeByteReader{r: br, sum: sum}
-
-	nFiles, err := readU32(tr)
-	if err != nil {
-		return err
-	}
-	for i := uint32(0); i < nFiles; i++ {
-		if err := restoreFile(ctx, tr, cluster); err != nil {
-			return fmt.Errorf("store: restore file %d: %w", i, err)
+func writePartitioner(w io.Writer, p lake.Partitioner) error {
+	switch p := p.(type) {
+	case lake.HashPartitioner:
+		return writeByte(w, partHash)
+	case lake.RangePartitioner:
+		if err := writeByte(w, partRange); err != nil {
+			return err
 		}
+		if err := writeU32(w, uint32(len(p.Bounds))); err != nil {
+			return err
+		}
+		for _, b := range p.Bounds {
+			if err := writeString(w, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported partitioner %q", p.Name())
 	}
-	computed := sum.Sum32()
-	stored, err := readU32(br)
-	if err != nil {
-		return fmt.Errorf("store: reading checksum: %w", err)
-	}
-	if stored != computed {
-		return fmt.Errorf("store: checksum mismatch: stored %08x, computed %08x", stored, computed)
-	}
-	return nil
 }
 
-// RestoreFromPath restores a snapshot file into the cluster.
-func RestoreFromPath(ctx context.Context, path string, cluster *dfs.Cluster) error {
-	f, err := os.Open(path)
+func readPartitioner(r io.Reader) (lake.Partitioner, error) {
+	tag, err := readByte(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer f.Close()
-	return Restore(ctx, f, cluster)
-}
-
-func restoreFile(ctx context.Context, r io.Reader, cluster *dfs.Cluster) error {
-	name, err := readString(r)
-	if err != nil {
-		return err
-	}
-	kindB, err := readByte(r)
-	if err != nil {
-		return err
-	}
-	kind := dfs.Heap
-	if kindB == kindBtree {
-		kind = dfs.Btree
-	}
-	partB, err := readByte(r)
-	if err != nil {
-		return err
-	}
-	var partitioner lake.Partitioner
-	switch partB {
+	switch tag {
 	case partHash:
-		partitioner = lake.HashPartitioner{}
+		return lake.HashPartitioner{}, nil
 	case partRange:
 		n, err := readU32(r)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if n > maxSaneLen {
-			return fmt.Errorf("absurd bound count %d", n)
+		if n > maxSaneParts {
+			return nil, fmt.Errorf("absurd bound count %d", n)
 		}
 		bounds := make([]lake.Key, n)
 		for i := range bounds {
 			bounds[i], err = readString(r)
 			if err != nil {
-				return err
+				return nil, err
 			}
 		}
-		partitioner = lake.RangePartitioner{Bounds: bounds}
+		return lake.RangePartitioner{Bounds: bounds}, nil
 	default:
-		return fmt.Errorf("unknown partitioner tag %d", partB)
+		return nil, fmt.Errorf("unknown partitioner tag %d", tag)
+	}
+}
+
+func writeStructureEntry(w io.Writer, e indexer.PersistEntry) error {
+	if err := writeString(w, e.Name); err != nil {
+		return err
+	}
+	if err := writeString(w, e.Base); err != nil {
+		return err
+	}
+	kind := structLocal
+	if e.Kind == indexer.Global {
+		kind = structGlobal
+	}
+	if err := writeByte(w, kind); err != nil {
+		return err
+	}
+	state := structReady
+	switch e.State {
+	case indexer.StateReady:
+	case indexer.StateEvicted:
+		state = structEvicted
+	default:
+		return fmt.Errorf("unpersistable state %s", e.State)
+	}
+	if err := writeByte(w, state); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(e.SizeBytes)); err != nil {
+		return err
+	}
+	if err := writeU64(w, math.Float64bits(e.RebuildCost)); err != nil {
+		return err
+	}
+	return writeU64(w, uint64(e.Builds))
+}
+
+func readStructureEntry(r io.Reader) (indexer.PersistEntry, error) {
+	var e indexer.PersistEntry
+	var err error
+	if e.Name, err = readString(r); err != nil {
+		return e, err
+	}
+	if e.Base, err = readString(r); err != nil {
+		return e, err
+	}
+	kind, err := readByte(r)
+	if err != nil {
+		return e, err
+	}
+	switch kind {
+	case structLocal:
+		e.Kind = indexer.Local
+	case structGlobal:
+		e.Kind = indexer.Global
+	default:
+		return e, fmt.Errorf("unknown structure kind %d", kind)
+	}
+	state, err := readByte(r)
+	if err != nil {
+		return e, err
+	}
+	switch state {
+	case structReady:
+		e.State = indexer.StateReady
+	case structEvicted:
+		e.State = indexer.StateEvicted
+	default:
+		return e, fmt.Errorf("unknown structure state %d", state)
+	}
+	size, err := readU64(r)
+	if err != nil {
+		return e, err
+	}
+	e.SizeBytes = int64(size)
+	cost, err := readU64(r)
+	if err != nil {
+		return e, err
+	}
+	e.RebuildCost = math.Float64frombits(cost)
+	builds, err := readU64(r)
+	if err != nil {
+		return e, err
+	}
+	e.Builds = int64(builds)
+	return e, nil
+}
+
+// stagedFile is a fully-parsed snapshot file held in memory until the
+// trailing checksum verifies; only then does it touch the cluster.
+type stagedFile struct {
+	name        string
+	kind        dfs.Kind
+	partitioner lake.Partitioner
+	nParts      int
+	parts       [][]lake.Record
+}
+
+// Restore reads a snapshot and recreates its files on the cluster,
+// discarding the metadata section. The whole stream — including the
+// trailing CRC — is parsed and verified BEFORE any file is created, so a
+// corrupted or truncated snapshot leaves the catalog untouched.
+func Restore(ctx context.Context, r io.Reader, cluster *dfs.Cluster) error {
+	_, err := ReadSnapshot(ctx, r, cluster)
+	return err
+}
+
+// ReadSnapshot is Restore returning the snapshot's metadata section (zero
+// for v1 snapshots). Nothing is applied to the cluster until the checksum
+// and every staged file have been validated.
+func ReadSnapshot(ctx context.Context, r io.Reader, cluster *dfs.Cluster) (*SnapshotMeta, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	var v2 bool
+	switch string(magic) {
+	case snapshotMagicV2:
+		v2 = true
+	case snapshotMagicV1:
+	default:
+		return nil, fmt.Errorf("store: bad magic %q", magic)
+	}
+	sum := crc32.NewIEEE()
+	tr := &teeByteReader{r: br, sum: sum}
+
+	meta := &SnapshotMeta{}
+	if v2 {
+		v, err := readU64(tr)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading catalog version: %w", err)
+		}
+		meta.CatalogVersion = v
+	}
+	nFiles, err := readU32(tr)
+	if err != nil {
+		return nil, err
+	}
+	if nFiles > maxSaneCount {
+		return nil, fmt.Errorf("store: absurd file count %d", nFiles)
+	}
+	staged := make([]stagedFile, 0, min(int(nFiles), 1024))
+	for i := uint32(0); i < nFiles; i++ {
+		sf, err := stageFile(tr)
+		if err != nil {
+			return nil, fmt.Errorf("store: restore file %d: %w", i, err)
+		}
+		staged = append(staged, sf)
+	}
+	if v2 {
+		nStructs, err := readU32(tr)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading structure count: %w", err)
+		}
+		if nStructs > maxSaneCount {
+			return nil, fmt.Errorf("store: absurd structure count %d", nStructs)
+		}
+		for i := uint32(0); i < nStructs; i++ {
+			e, err := readStructureEntry(tr)
+			if err != nil {
+				return nil, fmt.Errorf("store: restore structure %d: %w", i, err)
+			}
+			meta.Structures = append(meta.Structures, e)
+		}
+	}
+	computed := sum.Sum32()
+	stored, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading checksum: %w", err)
+	}
+	if stored != computed {
+		return nil, fmt.Errorf("store: checksum mismatch: stored %08x, computed %08x", stored, computed)
+	}
+
+	// Everything verified; now apply. Name collisions are checked up front
+	// so a restore over a non-empty catalog fails before creating anything.
+	for _, sf := range staged {
+		if _, err := cluster.File(sf.name); err == nil {
+			return nil, fmt.Errorf("store: restore: file %q already exists", sf.name)
+		}
+	}
+	for _, sf := range staged {
+		f, err := cluster.CreateFile(sf.name, sf.kind, sf.nParts, sf.partitioner)
+		if err != nil {
+			return nil, err
+		}
+		for p, recs := range sf.parts {
+			for _, rec := range recs {
+				if err := f.Append(ctx, p, rec); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return meta, nil
+}
+
+// RestoreFromPath restores a snapshot file into the cluster.
+func RestoreFromPath(ctx context.Context, path string, cluster *dfs.Cluster) error {
+	_, err := ReadSnapshotFromPath(ctx, path, cluster)
+	return err
+}
+
+// ReadSnapshotFromPath restores a snapshot file into the cluster and
+// returns its metadata section.
+func ReadSnapshotFromPath(ctx context.Context, path string, cluster *dfs.Cluster) (*SnapshotMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(ctx, f, cluster)
+}
+
+// stageFile parses one file section into memory without touching a cluster.
+func stageFile(r io.Reader) (stagedFile, error) {
+	var sf stagedFile
+	var err error
+	if sf.name, err = readString(r); err != nil {
+		return sf, err
+	}
+	kindB, err := readByte(r)
+	if err != nil {
+		return sf, err
+	}
+	sf.kind = dfs.Heap
+	if kindB == kindBtree {
+		sf.kind = dfs.Btree
+	}
+	if sf.partitioner, err = readPartitioner(r); err != nil {
+		return sf, err
 	}
 	nParts, err := readU32(r)
 	if err != nil {
-		return err
+		return sf, err
 	}
-	f, err := cluster.CreateFile(name, kind, int(nParts), partitioner)
-	if err != nil {
-		return err
+	if nParts > maxSaneParts {
+		return sf, fmt.Errorf("absurd partition count %d", nParts)
 	}
-	for p := 0; p < int(nParts); p++ {
+	sf.nParts = int(nParts)
+	sf.parts = make([][]lake.Record, sf.nParts)
+	for p := 0; p < sf.nParts; p++ {
 		nRecs, err := readU64(r)
 		if err != nil {
-			return err
+			return sf, err
+		}
+		if nRecs > maxSaneLen {
+			return sf, fmt.Errorf("absurd record count %d", nRecs)
 		}
 		for j := uint64(0); j < nRecs; j++ {
 			key, err := readString(r)
 			if err != nil {
-				return err
+				return sf, err
 			}
 			data, err := readBytes(r)
 			if err != nil {
-				return err
+				return sf, err
 			}
-			if err := f.Append(ctx, p, lake.Record{Key: key, Data: data}); err != nil {
-				return err
-			}
+			sf.parts[p] = append(sf.parts[p], lake.Record{Key: key, Data: data})
 		}
 	}
-	return nil
+	return sf, nil
 }
 
 // teeByteReader feeds every byte read into a checksum.
@@ -351,11 +636,23 @@ func readBytes(r io.Reader) ([]byte, error) {
 	if n > maxSaneLen {
 		return nil, fmt.Errorf("absurd length prefix %d", n)
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
+	// Small payloads (the overwhelmingly common case) get one allocation;
+	// large ones grow with the data actually read, so a corrupt length
+	// prefix near the bound cannot force a gigabyte allocation against a
+	// stream that is about to run dry.
+	const eager = 1 << 20
+	if n <= eager {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		return nil, err
 	}
-	return b, nil
+	return buf.Bytes(), nil
 }
 
 func writeString(w io.Writer, s string) error { return writeBytes(w, []byte(s)) }

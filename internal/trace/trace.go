@@ -306,6 +306,9 @@ type Snapshot struct {
 	// BuildWait is how long the planner waited on an in-flight structure
 	// build before routing (zero when it did not wait).
 	BuildWait time.Duration `json:"buildWait,omitempty"`
+	// CatalogVersion is the catalog version the job was planned against
+	// (zero without a versioned catalog attached to the planner).
+	CatalogVersion uint64 `json:"catalogVersion,omitempty"`
 	// Stages holds one entry per job stage.
 	Stages []StageSnapshot `json:"stages"`
 	// Nodes holds one entry per compute node.
