@@ -1,7 +1,9 @@
 // Command chaosbench drives the deterministic chaos + differential oracle
 // harness (internal/chaos, internal/oracle) from the command line: it runs
-// N seeded scenarios, each executed six ways (SMPE batched, SMPE
-// unbatched, SMPE under an armed chaos schedule, SMPE against a
+// N seeded scenarios, each executed seven ways (SMPE batched, SMPE
+// unbatched, SMPE under an armed chaos schedule, SMPE over a real
+// networked data plane — loopback lakenode servers behind pooled, hedged
+// nodenet clients, clean and under transport chaos — SMPE against a
 // lifecycle-managed rebuild of the scenario's index — built in flight,
 // then evicted and rebuilt on demand — SMPE against a crash-recovered
 // replica restored from a mid-workload checkpoint plus WAL replay, and
@@ -17,8 +19,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-lifecycle]
-//	    [-no-restart] [-no-shrink] [-v] [-timeline chaos-artifacts]
+//	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-net]
+//	    [-no-lifecycle] [-no-restart] [-no-shrink] [-v]
+//	    [-timeline chaos-artifacts]
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "first scenario seed; scenario i uses seed+i")
 		n       = flag.Int("n", 25, "number of seeded scenarios to run")
 		noChaos = flag.Bool("no-chaos", false, "skip the chaos arm (clean differential only)")
+		noNet   = flag.Bool("no-net", false, "skip the networked data-plane (smpe-net) arm")
 		noLifec = flag.Bool("no-lifecycle", false, "skip the structure-lifecycle arm")
 		noRest  = flag.Bool("no-restart", false, "skip the crash-recovery (smpe-restart) arm")
 		noShrnk = flag.Bool("no-shrink", false, "report chaos divergences without shrinking the schedule")
@@ -47,9 +51,10 @@ func main() {
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Lifecycle: !*noLifec, Restart: !*noRest}
+	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Net: !*noNet, Lifecycle: !*noLifec, Restart: !*noRest}
 	start := time.Now()
 	diverged := 0
+	var hedges, leaks int64
 	for i := 0; i < *n; i++ {
 		s := *seed + int64(i)
 		rep, err := oracle.Run(ctx, s, opts)
@@ -57,6 +62,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chaosbench: seed %d: harness error: %v\n", s, err)
 			os.Exit(2)
 		}
+		hedges += rep.NetHedgeFires
+		leaks += rep.NetLeakedConns
 		switch {
 		case rep.Diverged():
 			diverged++
@@ -71,7 +78,17 @@ func main() {
 	}
 	fmt.Printf("chaosbench: %d scenarios (seeds %d..%d), %d divergent, chaos=%v, in %v\n",
 		*n, *seed, *seed+int64(*n)-1, diverged, opts.Chaos, time.Since(start).Round(time.Millisecond))
-	if diverged > 0 {
+	if opts.Net {
+		fmt.Printf("chaosbench: net arm: %d hedged attempts, %d leaked connections\n", hedges, leaks)
+		// A sweep that never hedged would leave the tail-latency path
+		// untested; a leaked connection is a pool bug. Both fail the run
+		// even with matching answers.
+		if *n >= 10 && hedges == 0 {
+			fmt.Fprintln(os.Stderr, "chaosbench: net arm fired no hedged requests across the sweep")
+			os.Exit(1)
+		}
+	}
+	if diverged > 0 || leaks > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,59 @@
+// Command lakenode runs one storage node of the networked data plane: a
+// single-node in-process store (the same partition structures the sim uses)
+// exposed over the compact length-prefixed batch RPC in internal/nodenet.
+//
+// A lakeserve front end started with -nodes host:port,... connects one
+// nodenet client per lakenode and drives lookups, scans, and appends over
+// TCP; partition i of every file is owned by the i-th address in that list,
+// so each lakenode only ever sees its own partitions' data.
+//
+// Usage:
+//
+//	go run ./cmd/lakenode -addr 127.0.0.1:7101
+//	go run ./cmd/lakenode -addr 127.0.0.1:7102
+//	go run ./cmd/lakeserve -addr :8080 -kind tpch -nodes 127.0.0.1:7101,127.0.0.1:7102
+//
+// The process serves until SIGINT/SIGTERM, then closes the listener and
+// drains in-flight connections. Data is in-memory only: durability
+// (-data/-snapshot) stays with the sim data plane for now.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/nodenet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7101", "TCP listen address for the node RPC")
+	quiet := flag.Bool("quiet", false, "suppress per-connection error logging")
+	flag.Parse()
+
+	// One lakenode hosts the partitions the front end routes to it. The
+	// backing store is a single-node cluster with no simulated cost: real
+	// sockets provide the latency now.
+	cluster := dfs.NewCluster(dfs.Config{Nodes: 1})
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := nodenet.NewServer(dfs.Local(cluster), logf)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lakenode: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("lakenode: serving node RPC on %s", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("lakenode: shutting down")
+	srv.Close()
+}

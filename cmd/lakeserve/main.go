@@ -7,6 +7,7 @@
 //	go run ./cmd/lakeserve -addr :8080 -kind claims [-claims 10000]
 //	go run ./cmd/lakeserve -addr :8080 -snapshot lake.snap
 //	go run ./cmd/lakeserve -addr :8080 -kind tpch -data ./lakedata
+//	go run ./cmd/lakeserve -addr :8080 -nodes 127.0.0.1:7101,127.0.0.1:7102
 //
 // Then e.g.:
 //
@@ -30,6 +31,15 @@
 // periodically (-interval), after every structure build finalizes, and on
 // SIGINT/SIGTERM before exit.
 //
+// With -nodes host:port,... the data plane is real: each address is a
+// running lakenode process (cmd/lakenode) and partition data lives behind
+// pooled, hedged nodenet clients instead of in-process sim nodes. The
+// catalog stays local to lakeserve; -data and -snapshot are rejected in
+// this mode because durability belongs with the partition owners.
+// /debug/metrics then additionally exposes lakeharbor_net_* series —
+// connection-pool occupancy, hedge fires/wins/suppressed duplicates, and
+// an RPC latency quantile summary.
+//
 // Prometheus can scrape GET /debug/metrics on the same -addr (text
 // exposition format: execution counters, latency quantile summaries,
 // storage counters, structure lifecycle counters, catalog version, and
@@ -44,11 +54,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -60,6 +73,7 @@ import (
 	"lakeharbor/internal/httpapi"
 	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/nodenet"
 	"lakeharbor/internal/store"
 	"lakeharbor/internal/tpch"
 )
@@ -73,14 +87,26 @@ func main() {
 		interval = flag.Duration("interval", 30*time.Second, "periodic checkpoint interval with -data (0 = only on signal and build)")
 		sf       = flag.Float64("sf", 0.1, "TPC-H micro scale factor")
 		nClaims  = flag.Int("claims", 10000, "number of claims")
-		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
+		nodes    = flag.String("nodes", "4", "simulated node count, or comma-separated lakenode addresses (host:port,...) for a networked data plane")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		budget   = flag.Int64("budget", 0, "structure residency budget in modeled bytes (0 = unlimited)")
 		enablePP = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	ctx := context.Background()
-	cluster := dfs.NewCluster(dfs.Config{Nodes: *nodes})
+	cluster, netStats, err := buildCluster(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if netStats != nil {
+		// Durability and snapshot restore stay with the sim data plane: the
+		// WAL/checkpoint machinery owns local partitions, while a networked
+		// cluster's partitions live inside the lakenode processes.
+		if *dataDir != "" || *snapshot != "" {
+			log.Fatal("lakeserve: -data and -snapshot require a simulated data plane (integer -nodes)")
+		}
+		fmt.Printf("networked data plane: %s\n", *nodes)
+	}
 
 	var pers *persistence
 	if *dataDir != "" {
@@ -89,9 +115,10 @@ func main() {
 		}
 		pers = &persistence{dir: *dataDir, cluster: cluster, trigger: make(chan struct{}, 1)}
 	}
+	adv := advisor.New(cluster, advisor.Config{})
 	mopts := indexer.ManagerOptions{
 		StructureBudget: *budget,
-		RebuildCost:     advisor.New(cluster, advisor.Config{}).BuildCostNs,
+		RebuildCost:     adv.BuildCostNs,
 		OnFinalize: func(name string, st indexer.State) {
 			if st == indexer.StateReady && pers != nil {
 				pers.requestCheckpoint()
@@ -179,6 +206,9 @@ func main() {
 	if mgr != nil {
 		api.AttachStructures(mgr)
 	}
+	if netStats != nil {
+		api.AttachExtraMetrics(netStats.WriteMetrics)
+	}
 	if pers != nil {
 		wal, err := store.OpenWAL(pers.walPath())
 		if err != nil {
@@ -187,6 +217,9 @@ func main() {
 		pers.wal = wal
 		pers.mgr = mgr
 		pers.svc = catalog.Attach(cluster, wal)
+		// Rebuild-cost modeling now reads transactional catalog snapshots
+		// instead of racing the live catalog.
+		adv.AttachCatalog(pers.svc)
 		// The initial checkpoint covers everything loaded or recovered so
 		// far and empties the WAL; from here on the log only carries the
 		// delta since the latest checkpoint.
@@ -229,6 +262,38 @@ func main() {
 	}
 	fmt.Printf("serving LakeHarbor API on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// buildCluster interprets -nodes. An integer means an in-process simulated
+// cluster with that many nodes (the historical behavior, byte-for-byte). A
+// comma-separated host:port list means a networked data plane: one pooled,
+// hedged nodenet client per lakenode address, all sharing one stats block
+// so /debug/metrics can report pool occupancy, hedge counters, and RPC
+// latency across the fleet. The stats pointer is nil for sim clusters.
+func buildCluster(spec string) (*dfs.Cluster, *nodenet.Stats, error) {
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("lakeserve: -nodes %d: need at least one node", n)
+		}
+		return dfs.NewCluster(dfs.Config{Nodes: n}), nil, nil
+	}
+	stats := nodenet.NewStats()
+	var transports []dfs.NodeTransport
+	for _, addr := range strings.Split(spec, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return nil, nil, fmt.Errorf("lakeserve: -nodes %q: %w", spec, err)
+		}
+		transports = append(transports, nodenet.Dial(addr, nodenet.Options{}, stats))
+	}
+	cluster, err := dfs.NewClusterWithTransports(dfs.Config{}, transports)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cluster, stats, nil
 }
 
 // managerFor builds a lifecycle manager with the demo dataset's structure

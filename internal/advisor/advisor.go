@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"lakeharbor/internal/catalog"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/indexer"
 )
@@ -57,10 +58,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// CatalogViews is the advisor's window into the versioned metadata service
+// (catalog.Service satisfies it): transactional snapshots of the file set.
+type CatalogViews interface {
+	Snapshot() catalog.View
+}
+
 // Advisor tracks candidate structures and the workload that would use them.
 type Advisor struct {
 	cluster *dfs.Cluster
 	cfg     Config
+	catalog CatalogViews // nil until AttachCatalog
 
 	mu         sync.Mutex
 	candidates map[string]*candidate
@@ -85,6 +93,17 @@ func New(cluster *dfs.Cluster, cfg Config) *Advisor {
 		cfg:        cfg.withDefaults(),
 		candidates: make(map[string]*candidate),
 	}
+}
+
+// AttachCatalog points cost modeling at transactional catalog snapshots:
+// each Recommend batch resolves every candidate's base file against ONE
+// view, so a single ranking cannot mix two catalog versions, and a base
+// dropped concurrently surfaces as "not in catalog at version N" instead
+// of a torn read.
+func (a *Advisor) AttachCatalog(cv CatalogViews) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.catalog = cv
 }
 
 // Register adds a candidate structure. It does not build anything.
@@ -157,16 +176,47 @@ type Recommendation struct {
 // structures, the one cheapest to rebuild goes first. It reads only the
 // cluster and is safe to call concurrently.
 func (a *Advisor) BuildCostNs(spec indexer.Spec) (float64, error) {
+	return a.buildCostNs(spec, a.snapshotView())
+}
+
+// snapshotView takes one transactional catalog view, or nil when no
+// catalog service is attached.
+func (a *Advisor) snapshotView() *catalog.View {
+	a.mu.Lock()
+	cv := a.catalog
+	a.mu.Unlock()
+	if cv == nil {
+		return nil
+	}
+	v := cv.Snapshot()
+	return &v
+}
+
+// buildCostNs is BuildCostNs against an already-taken catalog view (nil =
+// ask the cluster directly). Catalog facts — base existence, partition
+// count — come from the view; the row count is a data-plane fact and
+// always comes from the cluster.
+func (a *Advisor) buildCostNs(spec indexer.Spec, view *catalog.View) (float64, error) {
+	var parts int
+	if view != nil {
+		meta, ok := view.File(spec.Base)
+		if !ok {
+			return 0, fmt.Errorf("advisor: base %q not in catalog at version %d",
+				spec.Base, view.Version)
+		}
+		parts = meta.Partitions
+	} else {
+		f, err := a.cluster.File(spec.Base)
+		if err != nil {
+			return 0, err
+		}
+		parts = f.NumPartitions()
+	}
 	rows, err := a.cluster.Len(spec.Base)
 	if err != nil {
 		return 0, err
 	}
-	f, err := a.cluster.File(spec.Base)
-	if err != nil {
-		return 0, err
-	}
 	cost := a.cluster.Cost()
-	parts := f.NumPartitions()
 	if parts < 1 {
 		parts = 1
 	}
@@ -177,16 +227,22 @@ func (a *Advisor) BuildCostNs(spec indexer.Spec) (float64, error) {
 	return ns, nil
 }
 
-// Recommend lists unbuilt candidates by descending benefit/cost ratio.
+// Recommend lists unbuilt candidates by descending benefit/cost ratio. With
+// a catalog attached, the whole batch is costed against one snapshot.
 func (a *Advisor) Recommend() ([]Recommendation, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	var view *catalog.View
+	if a.catalog != nil {
+		v := a.catalog.Snapshot()
+		view = &v
+	}
 	var out []Recommendation
 	for name, c := range a.candidates {
 		if c.built {
 			continue
 		}
-		build, err := a.BuildCostNs(c.spec)
+		build, err := a.buildCostNs(c.spec, view)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,76 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/catalog"
+)
+
+// countingViews wraps a live catalog.Service, counting snapshots.
+type countingViews struct {
+	svc       *catalog.Service
+	snapshots int
+}
+
+func (c *countingViews) Snapshot() catalog.View {
+	c.snapshots++
+	return c.svc.Snapshot()
+}
+
+// TestRecommendCostsWholeBatchAgainstOneSnapshot: a Recommend batch over
+// several candidates must take exactly one catalog view, so the ranking
+// cannot mix two catalog versions.
+func TestRecommendCostsWholeBatchAgainstOneSnapshot(t *testing.T) {
+	c := testCluster(t, 200)
+	svc := catalog.Attach(c, nil)
+	cv := &countingViews{svc: svc}
+
+	a := New(c, Config{})
+	a.AttachCatalog(cv)
+	for _, name := range []string{"events_idx_a", "events_idx_b", "events_idx_c"} {
+		spec := eventSpec()
+		spec.Name = name
+		if err := a.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Observe(name, 200, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recs, err := a.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d recommendations, want 3", len(recs))
+	}
+	if cv.snapshots != 1 {
+		t.Errorf("Recommend over 3 candidates took %d snapshots, want exactly 1", cv.snapshots)
+	}
+}
+
+// staleViews serves a fixed view, standing in for a snapshot from before
+// the candidate's base file existed.
+type staleViews struct{ view catalog.View }
+
+func (s *staleViews) Snapshot() catalog.View { return s.view }
+
+// TestBuildCostRejectsBaseMissingFromSnapshot: with a catalog attached,
+// cost modeling answers existence from the view — a base absent at the
+// snapshot's version is an error naming that version, even though the live
+// cluster has the file.
+func TestBuildCostRejectsBaseMissingFromSnapshot(t *testing.T) {
+	c := testCluster(t, 50)
+	a := New(c, Config{})
+	a.AttachCatalog(&staleViews{view: catalog.View{Version: 3}})
+
+	_, err := a.BuildCostNs(eventSpec())
+	if err == nil {
+		t.Fatal("BuildCostNs succeeded against a snapshot missing the base; want an error")
+	}
+	if !strings.Contains(err.Error(), "version 3") {
+		t.Errorf("error %q does not name the snapshot version", err)
+	}
+}

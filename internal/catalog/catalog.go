@@ -38,6 +38,16 @@ type View struct {
 	Files   []FileMeta `json:"files"`
 }
 
+// File returns the meta for name as of this view's version. Files is kept
+// sorted by name, so the lookup is a binary search.
+func (v View) File(name string) (FileMeta, bool) {
+	i := sort.Search(len(v.Files), func(i int) bool { return v.Files[i].Name >= name })
+	if i < len(v.Files) && v.Files[i].Name == name {
+		return v.Files[i], true
+	}
+	return FileMeta{}, false
+}
+
 // Service is the versioned metadata service over one cluster's catalog.
 type Service struct {
 	mu      sync.RWMutex

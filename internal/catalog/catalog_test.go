@@ -87,6 +87,30 @@ func TestSnapshotViewIsTransactional(t *testing.T) {
 	}
 }
 
+// TestViewFileLookup: View.File is a by-name point read over the sorted
+// snapshot — present files return their meta, absent ones report !ok.
+func TestViewFileLookup(t *testing.T) {
+	c := dfs.NewCluster(dfs.Config{Nodes: 1})
+	svc := Attach(c, nil)
+	for _, name := range []string{"bb", "dd", "aa", "cc"} {
+		if _, err := c.CreateFile(name, dfs.Heap, 3, lake.HashPartitioner{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := svc.Snapshot()
+	for _, name := range []string{"aa", "bb", "cc", "dd"} {
+		meta, ok := v.File(name)
+		if !ok || meta.Name != name || meta.Partitions != 3 {
+			t.Fatalf("File(%q) = %+v, %v", name, meta, ok)
+		}
+	}
+	for _, name := range []string{"", "a", "ab", "zz"} {
+		if meta, ok := v.File(name); ok {
+			t.Fatalf("File(%q) found phantom %+v", name, meta)
+		}
+	}
+}
+
 // TestCatalogMutationsReplayThroughWAL is the durability path: mutations
 // logged by the service must reconstruct the same catalog via ReplayWAL.
 func TestCatalogMutationsReplayThroughWAL(t *testing.T) {

@@ -1,0 +1,191 @@
+package chaos
+
+// The transport arm of the chaos layer: where chaos.Schedule injects faults
+// into the *sim* cluster through dfs hooks, WrapTransport interposes on the
+// real data plane — a proxying dfs.NodeTransport that injects drops and
+// delays between the executor and a node (in-process sim node or a live
+// nodenet client alike). Injected drops are ErrInjected, i.e. transient, so
+// the executor's retry machinery must heal them; the drop budget is bounded
+// so an oracle can size Options.MaxRetries to out-wait the wrapper the same
+// way it out-waits a Schedule's TotalHeals.
+//
+// Unlike a compiled Schedule, the wrapper's injections are seeded but not
+// call-exact: over real sockets the interleaving of concurrent RPCs is not
+// deterministic, so per-call randomness (bounded by the budget) is the
+// honest model. The same seed still yields the same injection *sequence* —
+// only its assignment to racing calls varies.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// TransportProfile tunes injection density at the transport seam. The zero
+// value selects DefaultTransportProfile.
+type TransportProfile struct {
+	// DropProb is the per-read-op probability of an injected transient
+	// failure (the RPC fails before reaching the node). Append and catalog
+	// ops are never dropped: they are not retried by every caller, and a
+	// drop after partial execution could not be told apart from one before.
+	DropProb float64
+	// MaxDrops bounds total injected drops for the wrapper's lifetime, so
+	// retry budgets can be sized against it.
+	MaxDrops int
+	// DelayProb is the per-op probability of an injected latency spike
+	// (any op, including appends — slowness is always safe).
+	DelayProb float64
+	// MaxDelay caps one injected spike.
+	MaxDelay time.Duration
+}
+
+// DefaultTransportProfile mirrors the sim profile's spirit: frequent enough
+// to shuffle schedules and exercise retries, bounded enough that a job with
+// a sized retry budget always completes.
+func DefaultTransportProfile() TransportProfile {
+	return TransportProfile{
+		DropProb:  0.08,
+		MaxDrops:  6,
+		DelayProb: 0.15,
+		MaxDelay:  300 * time.Microsecond,
+	}
+}
+
+// TransportChaos is a proxying NodeTransport that perturbs calls to an
+// inner transport while armed. The zero state is disarmed: calls pass
+// through untouched until Arm.
+type TransportChaos struct {
+	inner dfs.NodeTransport
+	prof  TransportProfile
+
+	armed  atomic.Bool
+	budget atomic.Int64 // remaining drops
+	drops  atomic.Int64 // injected drops so far
+	delays atomic.Int64 // injected delays so far
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ dfs.NodeTransport = (*TransportChaos)(nil)
+
+// WrapTransport interposes a chaos proxy on inner. The wrapper starts
+// disarmed; Arm turns injection on.
+func WrapTransport(inner dfs.NodeTransport, seed int64, prof TransportProfile) *TransportChaos {
+	if prof == (TransportProfile{}) {
+		prof = DefaultTransportProfile()
+	}
+	t := &TransportChaos{
+		inner: inner,
+		prof:  prof,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	t.budget.Store(int64(prof.MaxDrops))
+	return t
+}
+
+// Arm enables injection.
+func (t *TransportChaos) Arm() { t.armed.Store(true) }
+
+// Disarm stops injection; in-flight calls finish with whatever perturbation
+// they already drew.
+func (t *TransportChaos) Disarm() { t.armed.Store(false) }
+
+// Drops reports how many calls the wrapper failed.
+func (t *TransportChaos) Drops() int64 { return t.drops.Load() }
+
+// Delays reports how many calls the wrapper slowed down.
+func (t *TransportChaos) Delays() int64 { return t.delays.Load() }
+
+// MaxDrops returns the wrapper's total drop budget, for sizing retries.
+func (t *TransportChaos) MaxDrops() int { return t.prof.MaxDrops }
+
+// perturb draws this call's injection: an optional delay (slept here) and,
+// for droppable ops, an optional transient failure.
+func (t *TransportChaos) perturb(op string, droppable bool) error {
+	if !t.armed.Load() {
+		return nil
+	}
+	t.mu.Lock()
+	delay := time.Duration(0)
+	if t.prof.DelayProb > 0 && t.rng.Float64() < t.prof.DelayProb {
+		delay = time.Duration(t.rng.Int63n(int64(t.prof.MaxDelay))) + time.Microsecond
+	}
+	drop := droppable && t.prof.DropProb > 0 && t.rng.Float64() < t.prof.DropProb
+	t.mu.Unlock()
+	if delay > 0 {
+		t.delays.Add(1)
+		time.Sleep(delay)
+	}
+	if drop && t.budget.Add(-1) >= 0 {
+		t.drops.Add(1)
+		return fmt.Errorf("%w: transport %s", ErrInjected, op)
+	}
+	return nil
+}
+
+func (t *TransportChaos) CreateFile(ctx context.Context, name string, kind dfs.Kind, partitions int, p lake.Partitioner) error {
+	if err := t.perturb("create", false); err != nil {
+		return err
+	}
+	return t.inner.CreateFile(ctx, name, kind, partitions, p)
+}
+
+func (t *TransportChaos) DropFile(ctx context.Context, name string) error {
+	if err := t.perturb("drop", false); err != nil {
+		return err
+	}
+	return t.inner.DropFile(ctx, name)
+}
+
+func (t *TransportChaos) Lookup(ctx context.Context, file string, partition int, key lake.Key) ([]lake.Record, error) {
+	if err := t.perturb("lookup", true); err != nil {
+		return nil, err
+	}
+	return t.inner.Lookup(ctx, file, partition, key)
+}
+
+func (t *TransportChaos) LookupBatch(ctx context.Context, file string, partition int, keys []lake.Key) ([][]lake.Record, error) {
+	if err := t.perturb("batch", true); err != nil {
+		return nil, err
+	}
+	return t.inner.LookupBatch(ctx, file, partition, keys)
+}
+
+func (t *TransportChaos) LookupRange(ctx context.Context, file string, partition int, lo, hi lake.Key) ([]lake.Record, error) {
+	if err := t.perturb("range", true); err != nil {
+		return nil, err
+	}
+	return t.inner.LookupRange(ctx, file, partition, lo, hi)
+}
+
+func (t *TransportChaos) Scan(ctx context.Context, file string, partition int, fn func(lake.Record) error) error {
+	if err := t.perturb("scan", true); err != nil {
+		return err
+	}
+	return t.inner.Scan(ctx, file, partition, fn)
+}
+
+func (t *TransportChaos) Append(ctx context.Context, file string, partition int, recs []lake.Record) error {
+	// Delays only: a dropped append is indistinguishable from a failed one
+	// and appends are not universally retried.
+	if err := t.perturb("append", false); err != nil {
+		return err
+	}
+	return t.inner.Append(ctx, file, partition, recs)
+}
+
+func (t *TransportChaos) Stat(ctx context.Context, file string, partition int) (int, int64, error) {
+	if err := t.perturb("stat", true); err != nil {
+		return 0, 0, err
+	}
+	return t.inner.Stat(ctx, file, partition)
+}
+
+func (t *TransportChaos) Close() error { return t.inner.Close() }

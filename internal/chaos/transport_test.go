@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+func TestTransportChaosInjectsBoundedTransientDrops(t *testing.T) {
+	cluster := dfs.NewCluster(dfs.Config{Nodes: 1})
+	if _, err := cluster.CreateFile("f", dfs.Heap, 1, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	f, err := cluster.File("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(ctx, 0, lake.Record{Key: "k", Data: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+
+	prof := TransportProfile{DropProb: 0.5, MaxDrops: 4, DelayProb: 0.3, MaxDelay: 50 * time.Microsecond}
+	wrap := WrapTransport(dfs.Local(cluster), 7, prof)
+
+	// Disarmed: pass-through, nothing injected.
+	for i := 0; i < 50; i++ {
+		if _, err := wrap.Lookup(ctx, "f", 0, "k"); err != nil {
+			t.Fatalf("disarmed wrapper injected: %v", err)
+		}
+	}
+	if wrap.Drops() != 0 || wrap.Delays() != 0 {
+		t.Fatalf("disarmed wrapper recorded drops=%d delays=%d", wrap.Drops(), wrap.Delays())
+	}
+
+	wrap.Arm()
+	drops := 0
+	for i := 0; i < 200; i++ {
+		_, err := wrap.Lookup(ctx, "f", 0, "k")
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if lake.IsPermanent(err) {
+				t.Fatalf("injected drop classified permanent: %v", err)
+			}
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("armed wrapper at 50% drop prob injected nothing in 200 calls")
+	}
+	if drops > prof.MaxDrops {
+		t.Fatalf("injected %d drops, budget is %d", drops, prof.MaxDrops)
+	}
+	if int(wrap.Drops()) != drops {
+		t.Fatalf("Drops() = %d, observed %d", wrap.Drops(), drops)
+	}
+
+	// Appends are never dropped, only delayed.
+	for i := 0; i < 100; i++ {
+		if err := wrap.Append(ctx, "f", 0, []lake.Record{{Key: "a", Data: nil}}); err != nil {
+			t.Fatalf("append dropped by transport chaos: %v", err)
+		}
+	}
+
+	wrap.Disarm()
+	for i := 0; i < 50; i++ {
+		if _, err := wrap.Lookup(ctx, "f", 0, "k"); err != nil {
+			t.Fatalf("disarmed wrapper injected: %v", err)
+		}
+	}
+}

@@ -69,6 +69,11 @@ type Cluster struct {
 
 	listenerMu sync.RWMutex
 	listeners  []AppendListener
+
+	// remote marks a cluster built over external node transports
+	// (NewClusterWithTransports): catalog mutations broadcast to the
+	// transports and data operations never touch the local partition trees.
+	remote bool
 }
 
 // CatalogEvent describes one catalog mutation: the version it produced and
@@ -135,6 +140,10 @@ type node struct {
 	id       int
 	gate     *sim.Gate
 	counters metrics.Counters
+	// transport, when non-nil, serves this node's data operations instead
+	// of the in-process sim path (see transport.go). The sim keeps a nil
+	// transport so its historical code path is byte-for-byte unchanged.
+	transport NodeTransport
 }
 
 // NewCluster creates a cluster with cfg.Nodes nodes (minimum 1).
@@ -177,6 +186,19 @@ func (c *Cluster) CreateFile(name string, kind Kind, partitions int, p lake.Part
 	if p == nil {
 		return nil, fmt.Errorf("dfs: file %q: nil partitioner", name)
 	}
+	if c.remote {
+		c.mu.RLock()
+		_, exists := c.files[name]
+		c.mu.RUnlock()
+		if exists {
+			return nil, fmt.Errorf("dfs: file %q already exists", name)
+		}
+		// Broadcast before registering locally, so a transport failure
+		// leaves the catalog untouched.
+		if err := c.remoteCreate(name, kind, partitions, p); err != nil {
+			return nil, err
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.files[name]; ok {
@@ -202,14 +224,18 @@ func (c *Cluster) CreateFile(name string, kind Kind, partitions int, p lake.Part
 // exist is a no-op and does not bump the catalog version.
 func (c *Cluster) DropFile(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.files[name]; !ok {
+		c.mu.Unlock()
 		return
 	}
 	delete(c.files, name)
 	c.version++
 	if c.catalogHook != nil {
 		c.catalogHook(CatalogEvent{Version: c.version, Drop: true, Name: name})
+	}
+	c.mu.Unlock()
+	if c.remote {
+		c.remoteDrop(name)
 	}
 }
 
@@ -264,6 +290,9 @@ func (c *Cluster) NodeGate(i int) *sim.Gate {
 // SetFault injects err into every access to the named file's partition
 // (err == nil clears it). It exists for failure-injection tests.
 func (c *Cluster) SetFault(name string, partition int, err error) error {
+	if c.remote {
+		return fmt.Errorf("dfs: fault injection needs the in-process sim; wrap the node transports instead")
+	}
 	c.mu.RLock()
 	f, ok := c.files[name]
 	c.mu.RUnlock()
@@ -285,6 +314,9 @@ func (c *Cluster) SetFault(name string, partition int, err error) error {
 // partition, after which it heals itself — the shape of a flaky disk or a
 // brief network partition, used by retry tests.
 func (c *Cluster) SetTransientFault(name string, partition int, err error, times int) error {
+	if c.remote {
+		return fmt.Errorf("dfs: fault injection needs the in-process sim; wrap the node transports instead")
+	}
 	c.mu.RLock()
 	f, ok := c.files[name]
 	c.mu.RUnlock()
@@ -451,6 +483,28 @@ func (f *file) LookupBatch(ctx context.Context, partitionIdx int, keys []lake.Ke
 	if err != nil {
 		return nil, err
 	}
+	if owner.transport != nil {
+		var out [][]lake.Record
+		owner.counters.AddBatchLookup(len(keys))
+		err := transportCall(ctx, owner, func() error {
+			var terr error
+			out, terr = owner.transport.LookupBatch(ctx, f.name, partitionIdx, keys)
+			return terr
+		})
+		if err != nil {
+			return nil, err
+		}
+		read, bytes := 0, 0
+		for _, recs := range out {
+			read += len(recs)
+			for _, r := range recs {
+				bytes += len(r.Data)
+			}
+		}
+		owner.counters.AddRecordsRead(read)
+		owner.counters.AddBytesRead(bytes)
+		return out, nil
+	}
 	remote := false
 	if caller := CallerNode(ctx); caller >= 0 && caller != owner.id {
 		remote = true
@@ -502,6 +556,25 @@ func (f *file) Lookup(ctx context.Context, partitionIdx int, key lake.Key) ([]la
 	if err != nil {
 		return nil, err
 	}
+	if owner.transport != nil {
+		var recs []lake.Record
+		owner.counters.AddLookup()
+		err := transportCall(ctx, owner, func() error {
+			var terr error
+			recs, terr = owner.transport.Lookup(ctx, f.name, partitionIdx, key)
+			return terr
+		})
+		if err != nil {
+			return nil, err
+		}
+		bytes := 0
+		for _, r := range recs {
+			bytes += len(r.Data)
+		}
+		owner.counters.AddRecordsRead(len(recs))
+		owner.counters.AddBytesRead(bytes)
+		return recs, nil
+	}
 	if err := f.admit(ctx, owner, false, 1); err != nil {
 		return nil, err
 	}
@@ -535,6 +608,25 @@ func (f *file) LookupRange(ctx context.Context, partitionIdx int, lo, hi lake.Ke
 	if err != nil {
 		return nil, err
 	}
+	if owner.transport != nil {
+		var recs []lake.Record
+		owner.counters.AddLookup()
+		err := transportCall(ctx, owner, func() error {
+			var terr error
+			recs, terr = owner.transport.LookupRange(ctx, f.name, partitionIdx, lo, hi)
+			return terr
+		})
+		if err != nil {
+			return nil, err
+		}
+		bytes := 0
+		for _, r := range recs {
+			bytes += len(r.Data)
+		}
+		owner.counters.AddRecordsRead(len(recs))
+		owner.counters.AddBytesRead(bytes)
+		return recs, nil
+	}
 	if err := f.admit(ctx, owner, false, 1); err != nil {
 		return nil, err
 	}
@@ -560,6 +652,19 @@ func (f *file) LookupRange(ctx context.Context, partitionIdx int, lo, hi lake.Ke
 func (f *file) Scan(ctx context.Context, partitionIdx int, fn func(lake.Record) error) error {
 	p, owner, err := f.part(partitionIdx)
 	if err != nil {
+		return err
+	}
+	if owner.transport != nil {
+		scanned, bytes := 0, 0
+		err := transportCall(ctx, owner, func() error {
+			return owner.transport.Scan(ctx, f.name, partitionIdx, func(r lake.Record) error {
+				scanned++
+				bytes += len(r.Data)
+				return fn(r)
+			})
+		})
+		owner.counters.AddRecordsScanned(scanned)
+		owner.counters.AddBytesRead(bytes)
 		return err
 	}
 	if err := p.takeFault(); err != nil {
@@ -610,6 +715,19 @@ func (f *file) Append(ctx context.Context, partitionIdx int, recs ...lake.Record
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if owner.transport != nil {
+		if err := owner.transport.Append(ctx, f.name, partitionIdx, recs); err != nil {
+			return err
+		}
+		// Listeners fire after the remote insert, NOT under a partition
+		// lock: over a real transport the (insert, notify) pair is no
+		// longer atomic with respect to scans, which is why exactly-once
+		// online builds require the in-process transport (see
+		// ScanWithBarrier).
+		f.cluster.notifyAppend(f.name, partitionIdx, recs)
+		owner.counters.AddAppend(len(recs))
+		return nil
+	}
 	if err := p.takeFault(); err != nil {
 		return fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
 	}
@@ -639,6 +757,17 @@ func (f *file) ScanWithBarrier(ctx context.Context, partitionIdx int, barrier fu
 	p, owner, err := f.part(partitionIdx)
 	if err != nil {
 		return err
+	}
+	if owner.transport != nil {
+		// Degraded mode: over a real transport there is no shared partition
+		// lock to make (barrier, first record) atomic with appends, so this
+		// is barrier-then-scan. Appends racing the scan may be seen by both
+		// the barrier-side listener and the scan; exactly-once online builds
+		// therefore require the in-process transport.
+		if barrier != nil {
+			barrier()
+		}
+		return f.Scan(ctx, partitionIdx, fn)
 	}
 	if err := p.takeFault(); err != nil {
 		return fmt.Errorf("dfs: %q/%d: %w", f.name, partitionIdx, err)
@@ -676,6 +805,10 @@ func (c *Cluster) Len(name string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", lake.ErrNoSuchFile, name)
 	}
+	if c.remote {
+		recs, _, err := f.remoteTotals()
+		return recs, err
+	}
 	total := 0
 	for _, p := range f.parts {
 		p.mu.RLock()
@@ -683,6 +816,26 @@ func (c *Cluster) Len(name string) (int, error) {
 		p.mu.RUnlock()
 	}
 	return total, nil
+}
+
+// remoteTotals sums record count and modeled bytes across partitions via
+// each owner's transport Stat.
+func (f *file) remoteTotals() (int, int64, error) {
+	ctx := context.Background()
+	recs, bytes := 0, int64(0)
+	for i := range f.parts {
+		_, owner, err := f.part(i)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, b, err := owner.transport.Stat(ctx, f.name, i)
+		if err != nil {
+			return 0, 0, err
+		}
+		recs += r
+		bytes += b
+	}
+	return recs, bytes, nil
 }
 
 // FileSizeBytes returns the named file's total modeled size in bytes
@@ -700,6 +853,13 @@ func (c *Cluster) FileSizeBytes(name string) (int64, error) {
 
 // SizeBytes implements lake.SizedFile: the file's total modeled size.
 func (f *file) SizeBytes() int64 {
+	if f.cluster.remote {
+		_, bytes, err := f.remoteTotals()
+		if err != nil {
+			return 0
+		}
+		return bytes
+	}
 	var total int64
 	for _, p := range f.parts {
 		p.mu.RLock()

@@ -1,0 +1,247 @@
+package dfs
+
+// The node transport seam: every per-node data operation the engines issue
+// (lookups, batched lookups, range reads, scans, appends, size stats) can be
+// routed through a NodeTransport. The in-process sim keeps its historical
+// fast path (a node with a nil transport executes against the local
+// partition structures exactly as before), Local adapts that path to the
+// interface so a networked node server can host it, and a cluster built with
+// NewClusterWithTransports delegates each node's operations to an arbitrary
+// implementation — the real TCP client in internal/nodenet, or a chaos proxy
+// wrapping either.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/trace"
+)
+
+// NodeTransport is the seam between the executor/lake layers and one storage
+// node. Every method addresses a (file, partition) pair whose partition is
+// owned by the node behind the transport; callers resolve ownership first
+// (partition i of every file lives on node i mod NumNodes).
+//
+// Implementations must classify failures the way the retry machinery
+// expects: errors that can never heal (unknown file, bad partition index,
+// malformed protocol frames) are marked with lake.AsPermanent or wrap
+// lake.ErrNoSuchFile/lake.ErrNoSuchPartition; everything else (connection
+// refused, timeouts, injected faults) stays transient and is retried by the
+// executor with backoff.
+type NodeTransport interface {
+	// CreateFile registers a new empty file on the node.
+	CreateFile(ctx context.Context, name string, kind Kind, partitions int, p lake.Partitioner) error
+	// DropFile removes a file; dropping an unknown file is a no-op.
+	DropFile(ctx context.Context, name string) error
+	// Lookup returns the records stored under key in the partition.
+	Lookup(ctx context.Context, file string, partition int, key lake.Key) ([]lake.Record, error)
+	// LookupBatch serves a whole pointer batch in one round trip; out[i]
+	// holds the records for keys[i] (PR 2's batch shape, and the wire unit
+	// of the networked transport).
+	LookupBatch(ctx context.Context, file string, partition int, keys []lake.Key) ([][]lake.Record, error)
+	// LookupRange returns every record with lo <= key <= hi, in key order.
+	LookupRange(ctx context.Context, file string, partition int, lo, hi lake.Key) ([]lake.Record, error)
+	// Scan delivers the partition's records in key order.
+	Scan(ctx context.Context, file string, partition int, fn func(lake.Record) error) error
+	// Append inserts records into the partition.
+	Append(ctx context.Context, file string, partition int, recs []lake.Record) error
+	// Stat reports the partition's record count and modeled byte size.
+	Stat(ctx context.Context, file string, partition int) (records int, bytes int64, err error)
+	// Close releases the transport's resources (connections, pools).
+	Close() error
+}
+
+// localTransport adapts a sim cluster's in-process data path to the
+// NodeTransport interface. It is the storage side of a networked node (the
+// lakenode server executes decoded RPCs against it) and the inner layer
+// chaos transport proxies wrap in tests.
+type localTransport struct{ c *Cluster }
+
+// Local returns the in-process NodeTransport over the cluster: operations
+// execute directly against the cluster's partitions, with the same gate
+// admission, counters, and fault injection as direct file-method calls.
+func Local(c *Cluster) NodeTransport { return localTransport{c} }
+
+func (t localTransport) lookup(name string) (*file, error) {
+	t.c.mu.RLock()
+	defer t.c.mu.RUnlock()
+	f, ok := t.c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", lake.ErrNoSuchFile, name)
+	}
+	return f, nil
+}
+
+func (t localTransport) CreateFile(_ context.Context, name string, kind Kind, partitions int, p lake.Partitioner) error {
+	_, err := t.c.CreateFile(name, kind, partitions, p)
+	return err
+}
+
+func (t localTransport) DropFile(_ context.Context, name string) error {
+	t.c.DropFile(name)
+	return nil
+}
+
+func (t localTransport) Lookup(ctx context.Context, file string, partition int, key lake.Key) ([]lake.Record, error) {
+	f, err := t.lookup(file)
+	if err != nil {
+		return nil, err
+	}
+	return f.Lookup(ctx, partition, key)
+}
+
+func (t localTransport) LookupBatch(ctx context.Context, file string, partition int, keys []lake.Key) ([][]lake.Record, error) {
+	f, err := t.lookup(file)
+	if err != nil {
+		return nil, err
+	}
+	return f.LookupBatch(ctx, partition, keys)
+}
+
+func (t localTransport) LookupRange(ctx context.Context, file string, partition int, lo, hi lake.Key) ([]lake.Record, error) {
+	f, err := t.lookup(file)
+	if err != nil {
+		return nil, err
+	}
+	return f.LookupRange(ctx, partition, lo, hi)
+}
+
+func (t localTransport) Scan(ctx context.Context, file string, partition int, fn func(lake.Record) error) error {
+	f, err := t.lookup(file)
+	if err != nil {
+		return err
+	}
+	return f.Scan(ctx, partition, fn)
+}
+
+func (t localTransport) Append(ctx context.Context, file string, partition int, recs []lake.Record) error {
+	f, err := t.lookup(file)
+	if err != nil {
+		return err
+	}
+	return f.Append(ctx, partition, recs...)
+}
+
+func (t localTransport) Stat(_ context.Context, file string, partition int) (int, int64, error) {
+	f, err := t.lookup(file)
+	if err != nil {
+		return 0, 0, err
+	}
+	if partition < 0 || partition >= len(f.parts) {
+		return 0, 0, fmt.Errorf("%w: %q/%d", lake.ErrNoSuchPartition, file, partition)
+	}
+	p := f.parts[partition]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.tree.Len(), p.bytes, nil
+}
+
+func (t localTransport) Close() error { return nil }
+
+// NewClusterWithTransports builds a cluster whose node i delegates every
+// data operation to transports[i] — the front end of a real multi-process
+// data plane. The cluster keeps only catalog metadata locally; record data
+// lives behind the transports. CreateFile/DropFile broadcast to every
+// distinct transport so each node knows the full catalog.
+//
+// cfg.Nodes is ignored (the node count is len(transports)); cfg.Cost should
+// normally stay zero so the front end charges no simulated latency on top of
+// the transports' real round trips.
+//
+// Remote-backed clusters differ from the sim in two documented ways: fault
+// injection (SetFault/SetTransientFault) is rejected — inject at the
+// transport layer instead (chaos.WrapTransport) — and ScanWithBarrier
+// degrades to barrier-then-scan, so exactly-once online structure builds
+// require the in-process transport.
+func NewClusterWithTransports(cfg Config, transports []NodeTransport) (*Cluster, error) {
+	if len(transports) == 0 {
+		return nil, fmt.Errorf("dfs: NewClusterWithTransports needs at least one transport")
+	}
+	c := NewCluster(Config{Nodes: len(transports), Cost: cfg.Cost})
+	for i, t := range transports {
+		if t == nil {
+			return nil, fmt.Errorf("dfs: transport %d is nil", i)
+		}
+		c.nodes[i].transport = t
+	}
+	c.remote = true
+	return c, nil
+}
+
+// SetNodeTransport swaps node i's transport (nil restores the in-process sim
+// path). It exists so harnesses can interpose a proxying transport — e.g.
+// the chaos wrapper — around a live node between runs; it must not be called
+// while operations are in flight.
+func (c *Cluster) SetNodeTransport(i int, t NodeTransport) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("dfs: no node %d", i)
+	}
+	c.nodes[i].transport = t
+	return nil
+}
+
+// distinctTransports lists the cluster's transports, deduplicated (several
+// nodes may share one), in node order.
+func (c *Cluster) distinctTransports() []NodeTransport {
+	seen := make(map[NodeTransport]bool, len(c.nodes))
+	var out []NodeTransport
+	for _, n := range c.nodes {
+		if n.transport == nil || seen[n.transport] {
+			continue
+		}
+		seen[n.transport] = true
+		out = append(out, n.transport)
+	}
+	return out
+}
+
+// remoteCreate broadcasts a CreateFile to every distinct transport, rolling
+// back the ones that succeeded if any fails.
+func (c *Cluster) remoteCreate(name string, kind Kind, partitions int, p lake.Partitioner) error {
+	ctx := context.Background()
+	ts := c.distinctTransports()
+	for i, t := range ts {
+		if err := t.CreateFile(ctx, name, kind, partitions, p); err != nil {
+			for _, done := range ts[:i] {
+				done.DropFile(ctx, name) //nolint:errcheck // best-effort rollback
+			}
+			return fmt.Errorf("dfs: remote create %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// remoteDrop broadcasts a DropFile; drops are best-effort (the local catalog
+// is authoritative and a node that missed the drop only holds dead data).
+func (c *Cluster) remoteDrop(name string) {
+	ctx := context.Background()
+	for _, t := range c.distinctTransports() {
+		t.DropFile(ctx, name) //nolint:errcheck
+	}
+}
+
+// transportCall wraps one remote access with the same trace attribution the
+// sim path applies in admit: a local/remote observation on the calling
+// node's trace and, on success, the observed round-trip latency.
+func transportCall(ctx context.Context, owner *node, call func() error) error {
+	remote := false
+	if caller := CallerNode(ctx); caller >= 0 && caller != owner.id {
+		remote = true
+		owner.counters.AddRemoteFetch()
+	}
+	io := trace.IOFrom(ctx)
+	if io != nil {
+		io.Observe(remote)
+	}
+	var t0 time.Time
+	if io != nil {
+		t0 = time.Now()
+	}
+	err := call()
+	if err == nil && io != nil {
+		io.ObserveLatency(remote, time.Since(t0))
+	}
+	return err
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -38,6 +39,16 @@ type Server struct {
 	catalog    *catalog.Service // nil until AttachCatalog
 	recovery   *RecoveryInfo    // nil until AttachRecovery
 	ingestHook IngestHook       // nil unless SetIngestHook
+	extra      []func(io.Writer) // extra /debug/metrics writers
+}
+
+// AttachExtraMetrics registers an additional writer appended to the
+// /debug/metrics output — e.g. the networked data plane's transport stats
+// when the cluster runs over nodenet. Call before serving.
+func (s *Server) AttachExtraMetrics(fn func(io.Writer)) {
+	if fn != nil {
+		s.extra = append(s.extra, fn)
+	}
 }
 
 // New builds a Server for the cluster.

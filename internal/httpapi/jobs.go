@@ -227,6 +227,9 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeLifecycleMetrics(w)
 	s.writePersistenceMetrics(w)
+	for _, fn := range s.extra {
+		fn(w)
+	}
 }
 
 // RecordTrace lets callers that execute jobs against the same cluster

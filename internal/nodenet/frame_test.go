@@ -1,0 +1,242 @@
+package nodenet
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"lakeharbor/internal/lake"
+)
+
+func sampleRequests() []*request {
+	return []*request{
+		{Op: opCreate, ReqID: 1, File: "base", Kind: 1, Partitions: 4, Part: lake.HashPartitioner{}},
+		{Op: opCreate, ReqID: 2, File: "dim", Kind: 0, Partitions: 2,
+			Part: lake.RangePartitioner{Bounds: []lake.Key{"b", "m", "x"}}},
+		{Op: opDrop, ReqID: 3, File: "base"},
+		{Op: opLookupBatch, ReqID: 4, File: "base", Partition: 2,
+			Keys: []lake.Key{"k1", "", "k3"}},
+		{Op: opLookupRange, ReqID: 5, File: "idx", Partition: 0, Lo: "a", Hi: "zz"},
+		{Op: opScan, ReqID: 6, File: "base", Partition: 1},
+		{Op: opAppend, ReqID: 7, File: "base", Partition: 3, Recs: []lake.Record{
+			{Key: "k", Data: []byte("v")},
+			{Key: "", Data: nil},
+		}},
+		{Op: opStat, ReqID: 8, File: "base", Partition: 0},
+	}
+}
+
+func sampleResponses() []struct {
+	op   byte
+	resp *response
+} {
+	return []struct {
+		op   byte
+		resp *response
+	}{
+		{opCreate, &response{Status: statusOK, ReqID: 1}},
+		{opDrop, &response{Status: statusOK, ReqID: 2}},
+		{opLookupBatch, &response{Status: statusOK, ReqID: 3, Groups: [][]lake.Record{
+			{{Key: "a", Data: []byte("1")}, {Key: "a", Data: []byte("2")}},
+			nil,
+			{{Key: "c", Data: nil}},
+		}}},
+		{opLookupRange, &response{Status: statusOK, ReqID: 4, Recs: []lake.Record{
+			{Key: "a", Data: []byte("x")},
+		}}},
+		{opScan, &response{Status: statusOK, ReqID: 5}},
+		{opAppend, &response{Status: statusOK, ReqID: 6}},
+		{opStat, &response{Status: statusOK, ReqID: 7, Records: 12, Bytes: 4096}},
+		{opLookupBatch, &response{Status: statusTransient, ReqID: 8, Msg: "gate jammed"}},
+		{opScan, &response{Status: statusPermanent, ReqID: 9, Msg: "bad frame"}},
+		{opLookupBatch, &response{Status: statusNoFile, ReqID: 10, Msg: `no such file "x"`}},
+		{opStat, &response{Status: statusNoPartition, ReqID: 11, Msg: "base/9"}},
+	}
+}
+
+// normalizeRecords maps empty slices to nil so decoded forms compare equal
+// to their sources (the codec does not distinguish nil from empty).
+func normalizeRecords(recs []lake.Record) []lake.Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	for i := range recs {
+		if len(recs[i].Data) == 0 {
+			recs[i].Data = nil
+		}
+	}
+	return recs
+}
+
+func normalizeRequest(r *request) *request {
+	cp := *r
+	if len(cp.Keys) == 0 {
+		cp.Keys = nil
+	}
+	cp.Recs = normalizeRecords(cp.Recs)
+	return &cp
+}
+
+func normalizeResponse(r *response) *response {
+	cp := *r
+	if len(cp.Groups) == 0 {
+		cp.Groups = nil
+	}
+	for i := range cp.Groups {
+		cp.Groups[i] = normalizeRecords(cp.Groups[i])
+	}
+	cp.Recs = normalizeRecords(cp.Recs)
+	return &cp
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range sampleRequests() {
+		got, err := decodeRequest(req.encode())
+		if err != nil {
+			t.Fatalf("op %d: decode: %v", req.Op, err)
+		}
+		want := normalizeRequest(req)
+		if !reflect.DeepEqual(normalizeRequest(got), want) {
+			t.Errorf("op %d: round trip mismatch:\n got %+v\nwant %+v", req.Op, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, tc := range sampleResponses() {
+		got, err := decodeResponse(tc.resp.encode(tc.op), tc.op)
+		if err != nil {
+			t.Fatalf("op %d status %d: decode: %v", tc.op, tc.resp.Status, err)
+		}
+		want := normalizeResponse(tc.resp)
+		if !reflect.DeepEqual(normalizeResponse(got), want) {
+			t.Errorf("op %d: round trip mismatch:\n got %+v\nwant %+v", tc.op, got, want)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 1000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatalf("writeFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame mismatch: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+// TestFrameShortRead covers torn writes: every strict prefix of a valid
+// frame stream must fail with an I/O error (unexpected EOF), never decode.
+func TestFrameShortRead(t *testing.T) {
+	var buf bytes.Buffer
+	req := &request{Op: opLookupBatch, ReqID: 42, File: "base", Partition: 1, Keys: []lake.Key{"k"}}
+	if err := writeFrame(&buf, req.encode()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, err := readFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut=%d: torn frame decoded successfully", cut)
+		}
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut=%d: want EOF-class error, got %v", cut, err)
+		}
+	}
+}
+
+// TestFrameOversize: a length prefix above MaxFrame must return
+// errFrameTooBig without attempting the allocation.
+func TestFrameOversize(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	_, err := readFrame(bytes.NewReader(hdr))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("exceeds MaxFrame")) {
+		t.Fatalf("want frame-too-big error, got %v", err)
+	}
+}
+
+// TestDecodeTruncatedPayloads: every strict prefix of a valid payload must
+// fail to decode (truncation is detected), and decoding must never panic.
+func TestDecodeTruncatedPayloads(t *testing.T) {
+	for _, req := range sampleRequests() {
+		payload := req.encode()
+		for cut := 0; cut < len(payload); cut++ {
+			if r, err := decodeRequest(payload[:cut]); err == nil {
+				t.Fatalf("op %d cut=%d: truncated request decoded: %+v", req.Op, cut, r)
+			}
+		}
+	}
+	for _, tc := range sampleResponses() {
+		payload := tc.resp.encode(tc.op)
+		for cut := 0; cut < len(payload); cut++ {
+			if r, err := decodeResponse(payload[:cut], tc.op); err == nil {
+				t.Fatalf("op %d cut=%d: truncated response decoded: %+v", tc.op, cut, r)
+			}
+		}
+	}
+}
+
+// TestDecodeTrailingGarbage: extra bytes after a valid payload are a
+// protocol error, not silently ignored.
+func TestDecodeTrailingGarbage(t *testing.T) {
+	payload := (&request{Op: opDrop, ReqID: 1, File: "f"}).encode()
+	if _, err := decodeRequest(append(payload, 0xee)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// FuzzNodeFrame throws arbitrary payloads at both decoders; any input that
+// decodes must re-encode and decode back to the same value (round-trip
+// stability), and no input may panic or over-allocate.
+func FuzzNodeFrame(f *testing.F) {
+	for _, req := range sampleRequests() {
+		f.Add(req.encode(), true)
+	}
+	for _, tc := range sampleResponses() {
+		f.Add(tc.resp.encode(tc.op), false)
+	}
+	f.Add([]byte{}, true)
+	f.Add([]byte{opLookupBatch}, true)
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0, 0}, false)
+	f.Fuzz(func(t *testing.T, payload []byte, asRequest bool) {
+		if asRequest {
+			req, err := decodeRequest(payload)
+			if err != nil {
+				return
+			}
+			again, err := decodeRequest(req.encode())
+			if err != nil {
+				t.Fatalf("re-decode of valid request failed: %v", err)
+			}
+			if !reflect.DeepEqual(normalizeRequest(again), normalizeRequest(req)) {
+				t.Fatalf("request round-trip unstable:\nfirst  %+v\nsecond %+v", req, again)
+			}
+			return
+		}
+		// Responses need an op to decode; try each and require stability
+		// for whichever ops accept the payload.
+		for _, op := range []byte{opCreate, opDrop, opLookupBatch, opLookupRange, opScan, opAppend, opStat} {
+			resp, err := decodeResponse(payload, op)
+			if err != nil {
+				continue
+			}
+			again, err := decodeResponse(resp.encode(op), op)
+			if err != nil {
+				t.Fatalf("op %d: re-decode of valid response failed: %v", op, err)
+			}
+			if !reflect.DeepEqual(normalizeResponse(again), normalizeResponse(resp)) {
+				t.Fatalf("op %d: response round-trip unstable:\nfirst  %+v\nsecond %+v", op, resp, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package nodenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+)
+
+// Server speaks the node RPC protocol over TCP and executes decoded requests
+// against a dfs.NodeTransport backend — normally dfs.Local over a
+// single-node cluster (the lakenode binary), but any transport works, which
+// is how tests stack a chaos wrapper under a real socket.
+//
+// Each connection is served by one goroutine handling requests serially;
+// concurrency comes from the client opening multiple pooled connections.
+// That keeps the protocol trivially ordered (no response interleaving) and
+// makes a hedged request a genuinely independent server-side execution.
+type Server struct {
+	backend dfs.NodeTransport
+	logf    func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	served atomic.Int64 // requests answered, for tests/ops
+}
+
+// NewServer wraps the backend. logf receives per-connection error lines; nil
+// means log.Printf.
+func NewServer(backend dfs.NodeTransport, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{backend: backend, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts the accept loop in the
+// background. The bound address is returned so callers can use port 0.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("nodenet: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// Served returns how many requests the server has answered.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Close stops accepting, closes every live connection, and waits for the
+// per-connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("nodenet: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			// The stream is desynchronised; answer with a permanent error
+			// (req id 0 — we could not trust the decoded one) and drop the
+			// connection so the client re-dials cleanly.
+			s.logf("nodenet: %s: %v", conn.RemoteAddr(), err)
+			resp := &response{Status: statusPermanent, Msg: err.Error()}
+			writeFrame(conn, resp.encode(0)) //nolint:errcheck
+			return
+		}
+		resp := s.execute(req)
+		s.served.Add(1)
+		if err := writeFrame(conn, resp.encode(req.Op)); err != nil {
+			s.logf("nodenet: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// execute runs one decoded request against the backend and classifies the
+// outcome into a wire status.
+func (s *Server) execute(req *request) *response {
+	ctx := context.Background()
+	resp := &response{Status: statusOK, ReqID: req.ReqID}
+	var err error
+	switch req.Op {
+	case opCreate:
+		err = s.backend.CreateFile(ctx, req.File, dfs.Kind(req.Kind), req.Partitions, req.Part)
+	case opDrop:
+		err = s.backend.DropFile(ctx, req.File)
+	case opLookupBatch:
+		resp.Groups, err = s.backend.LookupBatch(ctx, req.File, req.Partition, req.Keys)
+	case opLookupRange:
+		resp.Recs, err = s.backend.LookupRange(ctx, req.File, req.Partition, req.Lo, req.Hi)
+	case opScan:
+		err = s.backend.Scan(ctx, req.File, req.Partition, func(r lake.Record) error {
+			resp.Recs = append(resp.Recs, r.Clone())
+			return nil
+		})
+	case opAppend:
+		err = s.backend.Append(ctx, req.File, req.Partition, req.Recs)
+	case opStat:
+		resp.Records, resp.Bytes, err = s.backend.Stat(ctx, req.File, req.Partition)
+	default:
+		err = lake.AsPermanent(fmt.Errorf("nodenet: unknown op %d", req.Op))
+	}
+	if err != nil {
+		resp.Status, resp.Msg = classify(err), err.Error()
+		resp.Groups, resp.Recs = nil, nil
+	}
+	return resp
+}
+
+// classify maps a backend error onto a wire status. The client re-creates
+// the matching Go error class on its side, so lake.IsPermanent and the
+// ErrNoSuchFile/ErrNoSuchPartition sentinels survive the network hop.
+func classify(err error) byte {
+	switch {
+	case errors.Is(err, lake.ErrNoSuchFile):
+		return statusNoFile
+	case errors.Is(err, lake.ErrNoSuchPartition):
+		return statusNoPartition
+	case lake.IsPermanent(err):
+		return statusPermanent
+	default:
+		return statusTransient
+	}
+}

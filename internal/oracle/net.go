@@ -1,0 +1,166 @@
+package oracle
+
+// The seventh arm: smpe-net. The scenario's cluster is mirrored onto a real
+// networked data plane — one lakenode-shaped server per node on loopback
+// TCP, one nodenet client per node, each client wrapped in a (dormant)
+// chaos transport proxy — and the same job runs twice: once clean with an
+// aggressive hedge delay (so tail-latency hedging actually fires over the
+// pool), once with the transport chaos armed (injected drops + delays, the
+// executor retrying through them). Both runs must reproduce the oracle
+// answer; the clean run must also match the sim's per-stage emit counts,
+// and at the end the client pools must drain to zero open connections.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lakeharbor/internal/chaos"
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/nodenet"
+)
+
+// netHedgeAfter is the fixed hedge delay for the net arm. Over loopback an
+// RPC completes in tens of microseconds, but under pool contention (the
+// hedge timer starts before the slot is acquired) waits routinely exceed
+// it, so hedges fire reliably without a warmed-up latency profile.
+const netHedgeAfter = 200 * time.Microsecond
+
+// netStats is what the arm reports upward for the acceptance assertions.
+type netStats struct {
+	HedgeFires  int64
+	HedgeWins   int64
+	LeakedConns int64
+}
+
+// runNetArm mirrors the scenario onto loopback lakenode servers and runs
+// the job clean and under transport chaos. It returns the clean run's
+// result (for emit comparison), the collected failures, and the transport
+// stats after teardown.
+func runNetArm(ctx context.Context, sc *scenario) (*core.Result, []string, netStats) {
+	nodes := sc.cluster.NumNodes()
+	stats := nodenet.NewStats()
+	var ns netStats
+
+	// One single-node backing cluster + RPC server per scenario node. The
+	// backing clusters are free-cost: the sockets provide real latency now.
+	servers := make([]*nodenet.Server, 0, nodes)
+	wrappers := make([]*chaos.TransportChaos, 0, nodes)
+	transports := make([]dfs.NodeTransport, 0, nodes)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	quiet := func(string, ...any) {}
+	for i := 0; i < nodes; i++ {
+		backing := dfs.NewCluster(dfs.Config{Nodes: 1})
+		srv := nodenet.NewServer(dfs.Local(backing), quiet)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, []string{fmt.Sprintf("smpe-net: listen node %d: %v", i, err)}, ns
+		}
+		servers = append(servers, srv)
+		client := nodenet.Dial(addr.String(), nodenet.Options{HedgeAfter: netHedgeAfter}, stats)
+		// The chaos wrapper sits between the executor and the socket,
+		// dormant until the second run arms it.
+		wrap := chaos.WrapTransport(client, sc.seed+int64(i), chaos.TransportProfile{})
+		wrappers = append(wrappers, wrap)
+		transports = append(transports, wrap)
+	}
+	closeAll := func() {
+		for _, tr := range transports {
+			tr.Close() //nolint:errcheck
+		}
+	}
+
+	netCluster, err := dfs.NewClusterWithTransports(dfs.Config{}, transports)
+	if err != nil {
+		closeAll()
+		return nil, []string{fmt.Sprintf("smpe-net: build cluster: %v", err)}, ns
+	}
+	if err := mirrorData(ctx, sc.cluster, netCluster); err != nil {
+		closeAll()
+		return nil, []string{fmt.Sprintf("smpe-net: mirror: %v", err)}, ns
+	}
+
+	// Clean run. A small retry budget absorbs spurious connection-level
+	// transients (a loopback RST is rare but not impossible); a healthy run
+	// uses none, and checkArm still bounds what it may use.
+	const cleanRetries = 2
+	opts := core.Options{
+		Threads:      sc.threads,
+		MaxBatch:     sc.maxBatch,
+		KeepRecords:  true,
+		MaxRetries:   cleanRetries,
+		RetryBackoff: 50 * time.Microsecond,
+	}
+	res, err := core.ExecuteSMPE(ctx, sc.job, netCluster, netCluster, opts)
+	fails := checkArm("smpe-net", sc, res, err, cleanRetries)
+
+	// Chaos run: arm every wrapper, size retries to out-wait the combined
+	// drop budget, and demand the same answer.
+	totalDrops := 0
+	for _, w := range wrappers {
+		w.Arm()
+		totalDrops += w.MaxDrops()
+	}
+	chaosOpts := opts
+	chaosOpts.MaxRetries = totalDrops + 2
+	resC, errC := core.ExecuteSMPE(ctx, sc.job, netCluster, netCluster, chaosOpts)
+	for _, w := range wrappers {
+		w.Disarm()
+	}
+	for _, f := range checkArm("smpe-net-chaos", sc, resC, errC, chaosOpts.MaxRetries) {
+		fails = append(fails, f)
+	}
+
+	// Teardown before the leak check: Close drains each pool, so anything
+	// still open afterwards is a real leak.
+	closeAll()
+	ns.HedgeFires = stats.HedgeFires()
+	ns.HedgeWins = stats.HedgeWins()
+	ns.LeakedConns = stats.OpenConns()
+	if ns.LeakedConns != 0 {
+		fails = append(fails, fmt.Sprintf("smpe-net: %d connections leaked after pool drain", ns.LeakedConns))
+	}
+	return res, fails, ns
+}
+
+// mirrorData replays src's catalog and partition contents onto dst,
+// preserving partition placement (partition p of src lands on partition p
+// of dst, and therefore on dst's owner transport for p).
+func mirrorData(ctx context.Context, src, dst *dfs.Cluster) error {
+	for _, name := range src.FileNames() {
+		f, err := src.File(name)
+		if err != nil {
+			return err
+		}
+		kinded, ok := f.(interface{ Kind() dfs.Kind })
+		if !ok {
+			return fmt.Errorf("file %q exposes no kind", name)
+		}
+		nf, err := dst.CreateFile(name, kinded.Kind(), f.NumPartitions(), f.Partitioner())
+		if err != nil {
+			return err
+		}
+		for p := 0; p < f.NumPartitions(); p++ {
+			var recs []lake.Record
+			if err := f.Scan(ctx, p, func(r lake.Record) error {
+				recs = append(recs, r.Clone())
+				return nil
+			}); err != nil {
+				return err
+			}
+			if len(recs) == 0 {
+				continue
+			}
+			if err := nf.Append(ctx, p, recs...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

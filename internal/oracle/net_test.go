@@ -1,0 +1,40 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestNetArmMatchesSim is the ISSUE 7 acceptance sweep: the smpe-net arm —
+// the scenario mirrored onto real loopback lakenode servers, run clean and
+// under armed transport chaos — must match the sim answers over >= 30
+// seeds, with at least one hedged request observed across the sweep and
+// zero leaked connections after every pool drain.
+func TestNetArmMatchesSim(t *testing.T) {
+	ctx := context.Background()
+	n := 35
+	if testing.Short() {
+		n = 10
+	}
+	var totalHedges int64
+	for i := 0; i < n; i++ {
+		seed := int64(1000 + i)
+		rep, err := Run(ctx, seed, Options{Net: true})
+		if err != nil {
+			t.Fatalf("seed %d: oracle harness failed: %v", seed, err)
+		}
+		if rep.Diverged() {
+			t.Errorf("seed %d diverged:\n  %s\n%s",
+				seed, strings.Join(rep.Failures, "\n  "), rep.Repro())
+		}
+		if rep.NetLeakedConns != 0 {
+			t.Errorf("seed %d leaked %d connections after pool drain", seed, rep.NetLeakedConns)
+		}
+		totalHedges += rep.NetHedgeFires
+	}
+	if totalHedges == 0 {
+		t.Errorf("no hedged request fired across %d seeds — hedging is dead or the delay is mis-derived", n)
+	}
+	t.Logf("net arm: %d seeds, %d hedged attempts total", n, totalHedges)
+}

@@ -49,6 +49,12 @@ type Options struct {
 	// answer, the per-file record counts, and the structure registry of the
 	// uninterrupted run — without starting a single build.
 	Restart bool
+	// Net enables the seventh arm: the scenario is mirrored onto real
+	// loopback lakenode servers (one per node, nodenet clients with pooled
+	// connections and hedging in front) and the job runs there twice —
+	// clean, and under armed transport chaos. Answers, emits, pointer
+	// conservation, and a zero-leak pool drain are all asserted.
+	Net bool
 }
 
 // Report is the outcome of one seeded differential run.
@@ -73,6 +79,13 @@ type Report struct {
 	// the first diverging arm, for timeline export alongside the repro. It
 	// is nil when no arm diverged or the arm failed before producing one.
 	DivergedTrace *trace.Snapshot
+	// NetHedgeFires and NetLeakedConns surface the net arm's transport
+	// stats (zero without Options.Net): how many hedged second attempts
+	// were launched across both net runs, and how many TCP connections were
+	// still open after the client pools drained (must be 0; a non-zero
+	// value is also reported as a failure).
+	NetHedgeFires  int64
+	NetLeakedConns int64
 }
 
 // Diverged reports whether any arm disagreed or broke an invariant.
@@ -142,6 +155,27 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 				_, f := runChaosArm(ctx, sc, cand)
 				return len(f) > 0
 			})
+		}
+	}
+	if opts.Net {
+		// The net arm runs on its own mirrored cluster, so scenario state is
+		// untouched; it still runs before the mutating arms so the mirror
+		// reflects the scenario as every clean arm saw it.
+		res, fails, ns := runNetArm(ctx, sc)
+		note("smpe-net", res, fails)
+		rep.NetHedgeFires = ns.HedgeFires
+		rep.NetLeakedConns = ns.LeakedConns
+		if errA == nil && res != nil && len(fails) == 0 {
+			// The networked data plane is a transport swap, not a semantic
+			// change: stage-by-stage emits must match the sim run exactly
+			// (hedged duplicates are suppressed below the executor).
+			for i := range resA.StageEmits {
+				if resA.StageEmits[i] != res.StageEmits[i] {
+					rep.Failures = append(rep.Failures, fmt.Sprintf(
+						"emit divergence: stage %d emits %d sim vs %d net",
+						i, resA.StageEmits[i], res.StageEmits[i]))
+				}
+			}
 		}
 	}
 	if opts.Lifecycle {

@@ -1,0 +1,94 @@
+package planner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/catalog"
+	"lakeharbor/internal/sim"
+	"lakeharbor/internal/tpch"
+)
+
+// countingViews wraps a real catalog.Service and counts how many snapshots
+// the planner takes.
+type countingViews struct {
+	svc       *catalog.Service
+	snapshots int
+	versions  int
+}
+
+func (c *countingViews) Version() uint64 {
+	c.versions++
+	return c.svc.Version()
+}
+
+func (c *countingViews) Snapshot() catalog.View {
+	c.snapshots++
+	return c.svc.Snapshot()
+}
+
+// TestPlanTakesOneSnapshotPerPlan pins the transactional-planning contract:
+// a Catalog that supports snapshot views is read exactly once per Plan call
+// — every existence and partition-count check inside the pass shares that
+// view — and the plan is stamped with the snapshot's version.
+func TestPlanTakesOneSnapshotPerPlan(t *testing.T) {
+	ctx := context.Background()
+	cluster, _ := loadedCluster(t, 0.01, 2, sim.CostModel{})
+	svc := catalog.Attach(cluster, nil)
+	cv := &countingViews{svc: svc}
+
+	pl := New(cluster, 4)
+	pl.Catalog = cv
+	lo, hi := tpch.DateRange(0.2)
+	q := q5Query(t, ctx, cluster, "ASIA", lo, hi)
+
+	p, err := pl.Plan(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.snapshots != 1 {
+		t.Errorf("Plan took %d catalog snapshots, want exactly 1", cv.snapshots)
+	}
+	if cv.versions != 0 {
+		t.Errorf("Plan read Version() %d times alongside the snapshot, want 0", cv.versions)
+	}
+	if p.CatalogVersion != svc.Version() {
+		t.Errorf("plan stamped catalog version %d, service is at %d", p.CatalogVersion, svc.Version())
+	}
+
+	if _, err := pl.Plan(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if cv.snapshots != 2 {
+		t.Errorf("two Plan calls took %d snapshots, want 2", cv.snapshots)
+	}
+}
+
+// staleViews serves a fixed (here: empty) view regardless of the live
+// catalog, standing in for a snapshot taken before the files existed.
+type staleViews struct{ view catalog.View }
+
+func (s *staleViews) Version() uint64        { return s.view.Version }
+func (s *staleViews) Snapshot() catalog.View { return s.view }
+
+// TestPlanIsPinnedToItsSnapshot: when the snapshot does not contain a file
+// the query needs, planning fails against the snapshot's version even
+// though the live cluster has the file — the decision is transactional,
+// not a torn mix of view and live state.
+func TestPlanIsPinnedToItsSnapshot(t *testing.T) {
+	ctx := context.Background()
+	cluster, _ := loadedCluster(t, 0.01, 2, sim.CostModel{})
+	pl := New(cluster, 4)
+	pl.Catalog = &staleViews{view: catalog.View{Version: 7}}
+	lo, hi := tpch.DateRange(0.2)
+	q := q5Query(t, ctx, cluster, "ASIA", lo, hi)
+
+	_, err := pl.Plan(ctx, q)
+	if err == nil {
+		t.Fatal("planning against an empty snapshot succeeded; want a catalog-version error")
+	}
+	if !strings.Contains(err.Error(), "version 7") {
+		t.Errorf("error %q does not name the snapshot version", err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"lakeharbor/internal/baseline"
+	"lakeharbor/internal/catalog"
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/lake"
@@ -228,7 +229,10 @@ type Planner struct {
 	// never waits.
 	MaxBuildWait time.Duration
 	// Catalog, when set, stamps each plan with the catalog version it was
-	// planned against (catalog.Service satisfies this).
+	// planned against (catalog.Service satisfies this). Sources that also
+	// implement CatalogViews upgrade planning to one transactional snapshot
+	// per Plan call: existence and partition-count checks then read that
+	// view instead of the live cluster catalog.
 	Catalog CatalogVersions
 }
 
@@ -236,6 +240,17 @@ type Planner struct {
 // the planner's window into the versioned metadata service.
 type CatalogVersions interface {
 	Version() uint64
+}
+
+// CatalogViews extends CatalogVersions with transactional snapshots.
+// catalog.Service satisfies it. When the attached Catalog implements this,
+// Plan takes ONE Snapshot per planning pass and answers every catalog
+// question (file existence, partition counts) from that view, so a
+// concurrent create or drop cannot tear a single plan between two catalog
+// versions.
+type CatalogViews interface {
+	CatalogVersions
+	Snapshot() catalog.View
 }
 
 // New returns a Planner over the cluster. coresPerNode configures the scan
@@ -268,11 +283,22 @@ func (pl *Planner) Plan(ctx context.Context, q *Query) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	// The catalog version is read once, up front: everything the plan then
-	// observes (structure states, file sizes) is attributed to it.
-	var cv uint64
+	// The catalog is read once, up front — as a transactional snapshot when
+	// the attached service supports it, so existence and partition-count
+	// checks downstream all see the same version; otherwise just the
+	// version number for trace attribution.
+	var (
+		cv   uint64
+		view *catalog.View
+	)
 	if pl.Catalog != nil {
-		cv = pl.Catalog.Version()
+		if s, ok := pl.Catalog.(CatalogViews); ok {
+			v := s.Snapshot()
+			view = &v
+			cv = v.Version
+		} else {
+			cv = pl.Catalog.Version()
+		}
 	}
 	if pl.Structures != nil {
 		var waited time.Duration
@@ -295,28 +321,48 @@ func (pl *Planner) Plan(ctx context.Context, q *Query) (*Plan, error) {
 				}, nil
 			}
 		}
-		p, err := pl.planCosted(ctx, q)
+		p, err := pl.planCosted(ctx, q, view)
 		if p != nil {
 			p.BuildWait = waited
 			p.CatalogVersion = cv
 		}
 		return p, err
 	}
-	p, err := pl.planCosted(ctx, q)
+	p, err := pl.planCosted(ctx, q, view)
 	if p != nil {
 		p.CatalogVersion = cv
 	}
 	return p, err
 }
 
+// viewMeta resolves name against the planning snapshot when one was taken.
+// A file absent at the snapshot's version is a planning error naming that
+// version — better than racing the live catalog halfway through costing.
+// Without a snapshot it reports not-found without error and callers fall
+// back to asking the cluster directly.
+func viewMeta(view *catalog.View, name string) (catalog.FileMeta, bool, error) {
+	if view == nil {
+		return catalog.FileMeta{}, false, nil
+	}
+	meta, ok := view.File(name)
+	if !ok {
+		return catalog.FileMeta{}, false, fmt.Errorf(
+			"planner: %q not in catalog at version %d", name, view.Version)
+	}
+	return meta, true, nil
+}
+
 // planCosted is the cost-based strategy choice over structures assumed
 // present.
-func (pl *Planner) planCosted(ctx context.Context, q *Query) (*Plan, error) {
+func (pl *Planner) planCosted(ctx context.Context, q *Query, view *catalog.View) (*Plan, error) {
+	if _, _, err := viewMeta(view, q.DriverIndex); err != nil {
+		return nil, err
+	}
 	driverRows, err := EstimateRangeRows(ctx, pl.cluster, q.DriverIndex, q.DriverLo, q.DriverHi)
 	if err != nil {
 		return nil, err
 	}
-	idxCost, scanCost, err := pl.costs(q, driverRows)
+	idxCost, scanCost, err := pl.costs(q, driverRows, view)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +418,7 @@ func (p *Plan) Execute(ctx context.Context) (*core.Result, error) {
 // cluster's aggregate I/O service concurrency; the scan plan pays a
 // streaming scan of every joined table, overlapped across partitions up to
 // per-node spindles/cores.
-func (pl *Planner) costs(q *Query, driverRows int64) (idx, scan time.Duration, err error) {
+func (pl *Planner) costs(q *Query, driverRows int64, view *catalog.View) (idx, scan time.Duration, err error) {
 	cost := pl.cluster.Cost()
 	nodes := pl.cluster.NumNodes()
 
@@ -406,17 +452,28 @@ func (pl *Planner) costs(q *Query, driverRows int64) (idx, scan time.Duration, e
 	}
 	scanConc := 1
 	for _, name := range tables {
-		f, ferr := pl.cluster.File(name)
+		// Catalog facts (existence, partition count) come from the planning
+		// snapshot when one was taken; row counts are data-plane facts and
+		// always come from the cluster.
+		meta, fromView, ferr := viewMeta(view, name)
 		if ferr != nil {
 			return 0, 0, ferr
+		}
+		parts := meta.Partitions
+		if !fromView {
+			f, ferr := pl.cluster.File(name)
+			if ferr != nil {
+				return 0, 0, ferr
+			}
+			parts = f.NumPartitions()
 		}
 		n, ferr := pl.cluster.Len(name)
 		if ferr != nil {
 			return 0, 0, ferr
 		}
 		totalScanned += int64(n)
-		if f.NumPartitions() > scanConc {
-			scanConc = f.NumPartitions()
+		if parts > scanConc {
+			scanConc = parts
 		}
 	}
 	if s := nodes * cost.Spindles; s > 0 && scanConc > s {

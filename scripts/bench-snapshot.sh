@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# bench-snapshot.sh — regenerate the committed benchmark snapshots with the
+# same pinned settings CI's bench-report job uses, so the repo carries a
+# reviewable baseline (BENCH_rede.json, BENCH_claims.json) that diffs
+# meaningfully when the engines change.
+#
+# Usage: scripts/bench-snapshot.sh  (from anywhere; writes to the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "bench-snapshot: Figure 7 (redebench -sf 0.1 -sels 0.001,0.01,0.1)"
+go run ./cmd/redebench -sf 0.1 -sels 0.001,0.01,0.1 -json BENCH_rede.json
+
+echo "bench-snapshot: Figure 9 (claimsbench -claims 3000)"
+go run ./cmd/claimsbench -claims 3000 -json BENCH_claims.json
+
+echo "bench-snapshot: wrote BENCH_rede.json BENCH_claims.json"
