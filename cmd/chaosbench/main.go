@@ -1,16 +1,17 @@
 // Command chaosbench drives the deterministic chaos + differential oracle
 // harness (internal/chaos, internal/oracle) from the command line: it runs
-// N seeded scenarios, each executed seven ways (SMPE batched, SMPE
+// N seeded scenarios, each executed eight ways (SMPE batched, SMPE
 // unbatched, SMPE under an armed chaos schedule, SMPE over a real
 // networked data plane — loopback lakenode servers behind pooled, hedged
-// nodenet clients, clean and under transport chaos — SMPE against a
-// lifecycle-managed rebuild of the scenario's index — built in flight,
-// then evicted and rebuilt on demand — SMPE against a crash-recovered
-// replica restored from a mid-workload checkpoint plus WAL replay, and
-// baseline scan), and exits non-zero on any divergence. Every failure
-// prints a single seed that reproduces it; CI runs a short budget with
-// -seed $GITHUB_RUN_ID so each pipeline run explores fresh schedules while
-// staying reproducible from the logged seed.
+// nodenet clients, clean and under transport chaos — SMPE as a 9:3:1
+// three-tenant mix on one shared weighted-fair scheduler, clean and under
+// chaos — SMPE against a lifecycle-managed rebuild of the scenario's index
+// — built in flight, then evicted and rebuilt on demand — SMPE against a
+// crash-recovered replica restored from a mid-workload checkpoint plus WAL
+// replay, and baseline scan), and exits non-zero on any divergence. Every
+// failure prints a single seed that reproduces it; CI runs a short budget
+// with -seed $GITHUB_RUN_ID so each pipeline run explores fresh schedules
+// while staying reproducible from the logged seed.
 //
 // With -timeline DIR, each divergence additionally writes the failing
 // arm's event timeline as Chrome trace-event JSON (loadable in Perfetto)
@@ -20,7 +21,7 @@
 // Usage:
 //
 //	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-net]
-//	    [-no-lifecycle] [-no-restart] [-no-shrink] [-v]
+//	    [-no-tenants] [-no-lifecycle] [-no-restart] [-no-shrink] [-v]
 //	    [-timeline chaos-artifacts]
 package main
 
@@ -42,6 +43,7 @@ func main() {
 		n       = flag.Int("n", 25, "number of seeded scenarios to run")
 		noChaos = flag.Bool("no-chaos", false, "skip the chaos arm (clean differential only)")
 		noNet   = flag.Bool("no-net", false, "skip the networked data-plane (smpe-net) arm")
+		noTen   = flag.Bool("no-tenants", false, "skip the multi-tenant scheduler (smpe-tenants) arm")
 		noLifec = flag.Bool("no-lifecycle", false, "skip the structure-lifecycle arm")
 		noRest  = flag.Bool("no-restart", false, "skip the crash-recovery (smpe-restart) arm")
 		noShrnk = flag.Bool("no-shrink", false, "report chaos divergences without shrinking the schedule")
@@ -51,7 +53,7 @@ func main() {
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Net: !*noNet, Lifecycle: !*noLifec, Restart: !*noRest}
+	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Net: !*noNet, Tenants: !*noTen, Lifecycle: !*noLifec, Restart: !*noRest}
 	start := time.Now()
 	diverged := 0
 	var hedges, leaks int64

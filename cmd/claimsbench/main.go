@@ -15,10 +15,13 @@
 // stays registered-but-absent until the first query demands it (Ensure),
 // and the lifecycle counters are reported at the end.
 //
+// With -sched N, both arms submit to one shared weighted-fair scheduler
+// with an N-worker cluster-wide ceiling instead of per-job pools.
+//
 // Usage:
 //
 //	go run ./cmd/claimsbench [-claims 20000] [-nodes 4] [-seed 2024]
-//	    [-budget 0] [-json BENCH_claims.json]
+//	    [-sched 0] [-budget 0] [-json BENCH_claims.json]
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/sched"
 	"lakeharbor/internal/trace"
 )
 
@@ -65,6 +69,7 @@ func main() {
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		batch    = flag.Int("batch", core.DefaultMaxBatch, "max pointers coalesced per dereference task (1 = unbatched)")
+		schedW   = flag.Int("sched", 0, "route both arms through a shared weighted-fair scheduler with this cluster-wide worker ceiling (0 = historical per-job pools)")
 		budget   = flag.Int64("budget", 0, "structure residency budget in modeled bytes; >0 manages the disease index's lifecycle")
 		datalake = flag.Bool("datalake", false, "also run the full-scan data-lake arm the paper's footnote omits")
 		showTr   = flag.Bool("trace", false, "print the per-stage execution trace of each ReDe run")
@@ -99,6 +104,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loaded both systems in %v\n\n", time.Since(t0).Round(time.Millisecond))
 
 	reg := trace.NewRegistry(0)
+	var sharedOpts core.Options
+	if *schedW > 0 {
+		scheduler, err := sched.New(sched.Options{Workers: *schedW, ShedDepth: -1},
+			sched.TenantConfig{Name: "bench", Weight: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer scheduler.Close()
+		sharedOpts.Tenant = "bench"
+		sharedOpts.Scheduler = scheduler
+		fmt.Fprintf(os.Stderr, "both arms share a %d-worker scheduler (tenant %q)\n\n", *schedW, "bench")
+	}
 	var results []queryResult
 
 	fmt.Printf("# Figure 9: record accesses, normalized to the warehouse system (DW = 1.00)\n")
@@ -107,7 +124,9 @@ func main() {
 	for _, q := range claims.Queries {
 		wantClaims, wantExpense := corpus.Oracle(q.Disease, q.MedicineClass)
 
-		wh, err := claims.RunWarehouse(ctx, whCluster, q, core.Options{MaxBatch: *batch})
+		qOpts := sharedOpts
+		qOpts.MaxBatch = *batch
+		wh, err := claims.RunWarehouse(ctx, whCluster, q, qOpts)
 		if err != nil {
 			log.Fatalf("%s warehouse: %v", q.Name, err)
 		}
@@ -117,7 +136,7 @@ func main() {
 				log.Fatalf("%s ensure %s: %v", q.Name, claims.IdxClaimsDise, err)
 			}
 		}
-		rd, err := claims.RunReDe(ctx, lakeCluster, q, core.Options{MaxBatch: *batch})
+		rd, err := claims.RunReDe(ctx, lakeCluster, q, qOpts)
 		if err != nil {
 			log.Fatalf("%s ReDe: %v", q.Name, err)
 		}

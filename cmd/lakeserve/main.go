@@ -8,6 +8,7 @@
 //	go run ./cmd/lakeserve -addr :8080 -snapshot lake.snap
 //	go run ./cmd/lakeserve -addr :8080 -kind tpch -data ./lakedata
 //	go run ./cmd/lakeserve -addr :8080 -nodes 127.0.0.1:7101,127.0.0.1:7102
+//	go run ./cmd/lakeserve -addr :8080 -kind tpch -tenants 'etl:9,adhoc:1:8:2' -workers 256
 //
 // Then e.g.:
 //
@@ -39,6 +40,14 @@
 // /debug/metrics then additionally exposes lakeharbor_net_* series —
 // connection-pool occupancy, hedge fires/wins/suppressed duplicates, and
 // an RPC latency quantile summary.
+//
+// With -tenants name:weight[:maxInFlight[:maxJobs]],... the server runs
+// multi-tenant: all job endpoints (/v1/jobs/...) require an X-Lake-Tenant
+// header, dispatch through one shared weighted-fair scheduler (-workers
+// caps cluster-wide parallelism, -shed bounds the queue before 429
+// load-shedding), and /debug/metrics grows lakeharbor_tenant_* series.
+// Unknown tenants get 403; over-quota or overloaded submissions get 429
+// with a Retry-After the client can honor.
 //
 // Prometheus can scrape GET /debug/metrics on the same -addr (text
 // exposition format: execution counters, latency quantile summaries,
@@ -74,6 +83,7 @@ import (
 	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/nodenet"
+	"lakeharbor/internal/sched"
 	"lakeharbor/internal/store"
 	"lakeharbor/internal/tpch"
 )
@@ -90,6 +100,9 @@ func main() {
 		nodes    = flag.String("nodes", "4", "simulated node count, or comma-separated lakenode addresses (host:port,...) for a networked data plane")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		budget   = flag.Int64("budget", 0, "structure residency budget in modeled bytes (0 = unlimited)")
+		tenants  = flag.String("tenants", "", "multi-tenant admission: name:weight[:maxInFlight[:maxJobs]],... — job endpoints then require X-Lake-Tenant and share one scheduler")
+		workers  = flag.Int("workers", 0, "cluster-wide worker ceiling for the shared scheduler (0 = sched default; needs -tenants)")
+		shed     = flag.Int("shed", 0, "queued-task depth above which job admission sheds with 429 (0 = sched default, negative = never; needs -tenants)")
 		enablePP = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -203,6 +216,21 @@ func main() {
 	}
 
 	api := httpapi.New(cluster)
+	if *tenants != "" {
+		cfgs, err := parseTenants(*tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheduler, err := sched.New(sched.Options{Workers: *workers, ShedDepth: *shed}, cfgs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		api.AttachScheduler(scheduler)
+		fmt.Printf("multi-tenant admission: %d tenants, %d-worker shared pool (set %s on job requests)\n",
+			len(cfgs), scheduler.Stats().Workers, httpapi.TenantHeader)
+	} else if *workers != 0 || *shed != 0 {
+		log.Fatal("lakeserve: -workers/-shed need -tenants")
+	}
 	if mgr != nil {
 		api.AttachStructures(mgr)
 	}
@@ -270,6 +298,38 @@ func main() {
 // hedged nodenet client per lakenode address, all sharing one stats block
 // so /debug/metrics can report pool occupancy, hedge counters, and RPC
 // latency across the fleet. The stats pointer is nil for sim clusters.
+// parseTenants turns a -tenants spec — comma-separated
+// name:weight[:maxInFlight[:maxJobs]] entries — into scheduler tenant
+// configs. Validation beyond syntax (positive weights, duplicate names)
+// belongs to sched.New, which rejects unschedulable configs.
+func parseTenants(spec string) ([]sched.TenantConfig, error) {
+	var cfgs []sched.TenantConfig
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("lakeserve: -tenants %q: want name:weight[:maxInFlight[:maxJobs]]", entry)
+		}
+		cfg := sched.TenantConfig{Name: parts[0]}
+		nums := []*int{&cfg.Weight, &cfg.MaxInFlight, &cfg.MaxJobs}
+		for i, p := range parts[1:] {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("lakeserve: -tenants %q: %w", entry, err)
+			}
+			*nums[i] = v
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("lakeserve: -tenants: no tenant specs in %q", spec)
+	}
+	return cfgs, nil
+}
+
 func buildCluster(spec string) (*dfs.Cluster, *nodenet.Stats, error) {
 	if n, err := strconv.Atoi(spec); err == nil {
 		if n <= 0 {

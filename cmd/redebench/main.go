@@ -21,10 +21,14 @@
 // re-ensured (transparently rebuilt if it was the victim) before each run,
 // and the lifecycle counters are reported at the end.
 //
+// With -sched N, the SMPE runs submit to one shared weighted-fair
+// scheduler with an N-worker cluster-wide ceiling instead of spinning up a
+// per-job pool — the same dispatch path a multi-tenant lakeserve uses.
+//
 // Usage:
 //
 //	go run ./cmd/redebench [-sf 0.2] [-nodes 4] [-cores 16] [-threads 1000]
-//	    [-region ASIA] [-sels 0.0001,0.001,...] [-seed 1] [-free]
+//	    [-sched 0] [-region ASIA] [-sels 0.0001,0.001,...] [-seed 1] [-free]
 //	    [-budget 0] [-json BENCH_rede.json]
 package main
 
@@ -44,6 +48,7 @@ import (
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/sched"
 	"lakeharbor/internal/sim"
 	"lakeharbor/internal/tpch"
 	"lakeharbor/internal/trace"
@@ -88,6 +93,7 @@ func main() {
 		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
 		cores   = flag.Int("cores", 16, "baseline static per-node parallelism")
 		threads = flag.Int("threads", core.DefaultThreads, "SMPE per-node worker pool size")
+		schedW  = flag.Int("sched", 0, "route SMPE runs through a shared weighted-fair scheduler with this cluster-wide worker ceiling (0 = historical per-job pools)")
 		batch   = flag.Int("batch", core.DefaultMaxBatch, "max pointers coalesced per dereference task (1 = unbatched)")
 		region  = flag.String("region", "ASIA", "Q5' region predicate")
 		selsArg = flag.String("sels", "0.0001,0.001,0.01,0.05,0.1,0.3,1.0", "comma-separated selectivities")
@@ -142,6 +148,16 @@ func main() {
 
 	eng := baseline.New(cluster, *cores)
 	reg := trace.NewRegistry(0)
+	var scheduler *sched.Scheduler
+	if *schedW > 0 {
+		scheduler, err = sched.New(sched.Options{Workers: *schedW, ShedDepth: -1},
+			sched.TenantConfig{Name: "bench", Weight: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer scheduler.Close()
+		fmt.Fprintf(os.Stderr, "SMPE runs share a %d-worker scheduler (tenant %q)\n", *schedW, "bench")
+	}
 	var results []selResult
 
 	fmt.Printf("# Figure 7: TPC-H Q5' execution time vs selectivity (%s, SF=%g, %d nodes)\n",
@@ -177,13 +193,18 @@ func main() {
 			log.Fatal(err)
 		}
 
-		smpe, err := core.Execute(ctx, job, cluster, cluster, core.Options{
+		smpeOpts := core.Options{
 			Threads:           *threads,
 			InlineReferencers: true,
 			MaxBatch:          *batch,
 			SlowTaskThreshold: *slow,
 			TraceLog:          log.Printf,
-		})
+		}
+		if scheduler != nil {
+			smpeOpts.Tenant = "bench"
+			smpeOpts.Scheduler = scheduler
+		}
+		smpe, err := core.Execute(ctx, job, cluster, cluster, smpeOpts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -80,6 +80,50 @@ type Options struct {
 	// TraceLog, if non-nil, receives one log line per slow task. It must
 	// be safe for concurrent use (log.Printf is).
 	TraceLog func(format string, args ...any)
+	// Tenant names the principal the job runs on behalf of. It is stamped
+	// on the execution trace (so every dispatch, retry, and batch the job
+	// records is attributable) and identifies the job to Scheduler when
+	// one is set. Empty means "untenanted" and is only valid without a
+	// Scheduler: a shared scheduler cannot account anonymous work.
+	Tenant string
+	// Scheduler, when non-nil, dispatches the job's tasks onto a shared,
+	// cluster-wide worker pool with weighted-fair queuing across tenants
+	// (internal/sched) instead of growing this job's own per-node pools.
+	// Threads is then ignored: worker capacity belongs to the scheduler,
+	// which enforces one cluster-wide ceiling no matter how many jobs run
+	// concurrently — the per-job DefaultThreads composes badly (N jobs
+	// would otherwise spawn N×1000 goroutines). Admission (tenant quotas,
+	// load shedding) happens before any task is enqueued; an over-quota
+	// or overloaded submission fails the job up front with the
+	// scheduler's admission error. nil keeps the historical per-job pool
+	// path byte-for-byte.
+	Scheduler TaskScheduler
+}
+
+// TaskScheduler admits jobs to a shared multi-tenant worker pool. It is the
+// executor's seam to internal/sched (same pattern as dfs.NodeTransport): the
+// executor only needs admission and task submission, so the interface lives
+// here and the scheduler implements it, keeping core free of a dependency on
+// the scheduling layer.
+type TaskScheduler interface {
+	// StartJob admission-checks one job for the tenant and, when admitted,
+	// returns the handle its tasks are submitted through. A rejection
+	// (unknown tenant, zero weight, over job quota, overload shed) is an
+	// error here — before a single task exists — never a hang.
+	StartJob(tenant string) (SchedJob, error)
+}
+
+// SchedJob is one admitted job's submission handle.
+type SchedJob interface {
+	// Submit schedules run on the shared pool; run is invoked exactly once
+	// with the executing worker's id. depth is the tenant's queue depth
+	// after the enqueue (for queue telemetry). Submit never blocks on
+	// execution — queued work waits in the tenant's fair queue.
+	Submit(run func(worker int)) (depth int, err error)
+	// Finish marks the job complete: it waits for every submitted task to
+	// run, then releases the job's admission slot. It must be called
+	// exactly once.
+	Finish()
 }
 
 // DefaultThreads is the paper's default per-node thread-pool size.
@@ -99,6 +143,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Threads == 0 {
 		o.Threads = DefaultThreads
+	}
+	if o.Scheduler != nil && o.Tenant == "" {
+		return o, fmt.Errorf("Options.Tenant is required when Options.Scheduler is set")
 	}
 	return o, nil
 }
@@ -186,6 +233,16 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 			return nil, fmt.Errorf("core: job %q: unknown file %q in seed: %w", job.Name, seed.File, err)
 		}
 	}
+	// Admission to the shared scheduler happens before any task exists:
+	// an over-quota tenant or an overloaded cluster rejects the whole job
+	// here, cheaply, instead of shedding half-dispatched work.
+	var sjob SchedJob
+	if opts.Scheduler != nil {
+		var err error
+		if sjob, err = opts.Scheduler.StartJob(opts.Tenant); err != nil {
+			return nil, fmt.Errorf("core: job %q: admission: %w", job.Name, err)
+		}
+	}
 	start := time.Now()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -196,9 +253,13 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 		catalog: catalog,
 		topo:    topo,
 		opts:    opts,
+		sjob:    sjob,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		tr:      trace.New(job.Name, traceInfo(job), topo.NumNodes()),
+	}
+	if opts.Tenant != "" {
+		e.tr.SetTenant(opts.Tenant)
 	}
 	if opts.SlowTaskThreshold > 0 {
 		e.tr.SetSlowTask(opts.SlowTaskThreshold, opts.TraceLog)
@@ -207,28 +268,32 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 		e.tr.EnableEvents(opts.EventCap) // 0 selects trace.DefaultEventCap
 	}
 	n := topo.NumNodes()
-	e.queues = make([]*taskQueue, n)
 	e.results = make([]nodeResult, n)
-	e.pools = make([]*nodePool, n)
-	for i := range e.queues {
-		e.queues[i] = newTaskQueue()
-	}
-
-	// Register the per-node pools ("distributing the data processing job
-	// to all the computing nodes"). Workers are spawned on demand up to
-	// Options.Threads per node — the paper reuses a standing pool; here
-	// each job grows its own, so a tiny job does not pay for a thousand
-	// idle workers.
-	var wg sync.WaitGroup
+	e.tcs = make([]*TaskCtx, n)
 	for node := 0; node < n; node++ {
-		tc := &TaskCtx{
+		e.tcs[node] = &TaskCtx{
 			Ctx:     trace.WithIO(topo.Bind(ctx, node), e.tr.NodeIO(node)),
 			Node:    node,
 			Nodes:   n,
 			Catalog: catalog,
 			Owner:   topo.OwnerNode,
 		}
-		e.pools[node] = &nodePool{max: int32(opts.Threads), wg: &wg, tc: tc, e: e, node: node}
+	}
+
+	// Register the per-node pools ("distributing the data processing job
+	// to all the computing nodes"). Workers are spawned on demand up to
+	// Options.Threads per node — the paper reuses a standing pool; here
+	// each job grows its own, so a tiny job does not pay for a thousand
+	// idle workers. Under a shared scheduler the job owns no pools at
+	// all: its tasks ride the scheduler's cluster-wide workers.
+	var wg sync.WaitGroup
+	if sjob == nil {
+		e.queues = make([]*taskQueue, n)
+		e.pools = make([]*nodePool, n)
+		for node := 0; node < n; node++ {
+			e.queues[node] = newTaskQueue()
+			e.pools[node] = &nodePool{max: int32(opts.Threads), wg: &wg, tc: e.tcs[node], e: e, node: node}
+		}
 	}
 
 	// Seed the initial stage. Seeds without partition information are
@@ -250,10 +315,17 @@ func Execute(ctx context.Context, job *Job, catalog lake.Catalog, topo Topology,
 	case <-ctx.Done():
 		e.fail(ctx.Err())
 	}
-	for _, q := range e.queues {
-		q.close()
+	if sjob != nil {
+		// Shared-scheduler path: wait for every submitted task to run
+		// (cancelled jobs drain cheaply through the ctx check in process),
+		// then release the job's admission slot.
+		sjob.Finish()
+	} else {
+		for _, q := range e.queues {
+			q.close()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	if err := e.firstErr(); err != nil {
 		return nil, fmt.Errorf("core: job %q: %w", job.Name, err)
@@ -298,6 +370,8 @@ type executor struct {
 
 	queues   []*taskQueue
 	pools    []*nodePool
+	tcs      []*TaskCtx
+	sjob     SchedJob // non-nil on the shared-scheduler path
 	inflight atomic.Int64
 	results  []nodeResult
 
@@ -390,9 +464,10 @@ func (e *executor) firstErr() error {
 // target partition.
 func (e *executor) enqueuePointer(fromNode, stage int, ptr lake.Pointer, isSeed bool) {
 	if ptr.NoPart {
-		// BROADCAST: enqueue to every node's queue; each node will
-		// treat it as addressing its local partitions.
-		for node := range e.queues {
+		// BROADCAST: enqueue to every node; each node will treat it as
+		// addressing its local partitions. Ranges over e.tcs (one per
+		// node on both paths) — e.queues is nil under a shared scheduler.
+		for node := range e.tcs {
 			e.dispatch(node, task{stage: stage, ptrs: []lake.Pointer{ptr}})
 		}
 		return
@@ -424,6 +499,10 @@ func (e *executor) dispatch(node int, t task) {
 	w := t.weight()
 	t.enq = time.Now().UnixNano()
 	e.inflight.Add(w)
+	if e.sjob != nil {
+		e.dispatchShared(node, t, w)
+		return
+	}
 	ok, depth := e.queues[node].push(t)
 	if !ok {
 		e.finishN(w) // dropped on a closed queue; roll the counter back
@@ -432,6 +511,27 @@ func (e *executor) dispatch(node int, t task) {
 	e.tr.Enqueue(node, depth)
 	e.tr.Mark(trace.EvEnqueue, t.stage, node, depth)
 	e.pools[node].maybeSpawn()
+}
+
+// dispatchShared submits one task to the shared scheduler instead of a
+// per-node queue. The closure carries the producing node's TaskCtx, so
+// storage attribution (local vs remote I/O, trace spans) is identical to the
+// pool path; the worker id is the scheduler's, making timeline tracks show
+// which shared worker ran the task. The reported depth is the tenant's fair
+// queue, recorded against the producing node's high-water telemetry.
+func (e *executor) dispatchShared(node int, t task, w int64) {
+	tc := e.tcs[node]
+	depth, err := e.sjob.Submit(func(worker int) {
+		e.process(tc, t, worker)
+		e.finishN(t.weight())
+	})
+	if err != nil {
+		e.finishN(w) // never enqueued; roll the counter back
+		e.fail(err)
+		return
+	}
+	e.tr.Enqueue(node, depth)
+	e.tr.Mark(trace.EvEnqueue, t.stage, node, depth)
 }
 
 // finishN decrements the in-flight counter after a task (and everything it

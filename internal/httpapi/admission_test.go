@@ -1,0 +1,266 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/sched"
+)
+
+// newTenantServer builds the standard test lake fronted by a server with a
+// shared scheduler attached.
+func newTenantServer(t *testing.T, opts sched.Options, tenants ...sched.TenantConfig) (*httptest.Server, *sched.Scheduler) {
+	t.Helper()
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: 2})
+	f, err := c.CreateFile("events", dfs.Btree, 4, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		k := keycodec.Int64(i)
+		if err := dfs.AppendRouted(ctx, f, k, lake.Record{Key: k, Data: []byte(fmt.Sprintf("event-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := sched.New(opts, tenants...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	api := New(c)
+	api.AttachScheduler(s)
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+func rangeReq(t *testing.T, srv *httptest.Server, tenant string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest("GET", srv.URL+"/v1/jobs/range?file=events&lo=int:0&hi=int:49&limit=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	return req
+}
+
+func doReq(t *testing.T, req *http.Request) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+// TestAdmissionStatusMapping covers the non-retryable edges: a missing
+// tenant header is a 400, an unknown tenant a 403 (no Retry-After — waiting
+// cannot help), and a valid tenant runs the job.
+func TestAdmissionStatusMapping(t *testing.T) {
+	srv, _ := newTenantServer(t, sched.Options{Workers: 4}, sched.TenantConfig{Name: "acme", Weight: 1})
+
+	if code, _, body := doReq(t, rangeReq(t, srv, "")); code != http.StatusBadRequest {
+		t.Fatalf("missing header: status %d, body %s", code, body)
+	}
+	code, hdr, body := doReq(t, rangeReq(t, srv, "ghost"))
+	if code != http.StatusForbidden {
+		t.Fatalf("unknown tenant: status %d, body %s", code, body)
+	}
+	if hdr.Get("Retry-After") != "" {
+		t.Fatal("unknown tenant must not advertise Retry-After")
+	}
+	if code, _, body := doReq(t, rangeReq(t, srv, "acme")); code != http.StatusOK {
+		t.Fatalf("valid tenant: status %d, body %s", code, body)
+	}
+}
+
+// TestAdmissionOverQuota holds tenant acme's only job slot and requires the
+// HTTP edge to answer 429 with a positive Retry-After, then succeed once the
+// slot frees.
+func TestAdmissionOverQuota(t *testing.T) {
+	srv, s := newTenantServer(t, sched.Options{Workers: 4},
+		sched.TenantConfig{Name: "acme", Weight: 1, MaxJobs: 1})
+
+	hold, err := s.StartJob("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, hdr, body := doReq(t, rangeReq(t, srv, "acme"))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over quota: status %d, body %s", code, body)
+	}
+	if !strings.Contains(body, "quota") {
+		t.Fatalf("over-quota body does not name the cause: %s", body)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", hdr.Get("Retry-After"))
+	}
+
+	hold.Finish()
+	if code, _, body := doReq(t, rangeReq(t, srv, "acme")); code != http.StatusOK {
+		t.Fatalf("after release: status %d, body %s", code, body)
+	}
+}
+
+// TestAdmissionLoadShed saturates the scheduler's only worker with a
+// blocking task and piles queued work past ShedDepth: new jobs — any
+// tenant's — must shed with 429 until the backlog drains.
+func TestAdmissionLoadShed(t *testing.T) {
+	srv, s := newTenantServer(t, sched.Options{Workers: 1, ShedDepth: 2},
+		sched.TenantConfig{Name: "acme", Weight: 1},
+		sched.TenantConfig{Name: "bob", Weight: 1})
+
+	blocker, err := s.StartJob("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	if _, err := blocker.Submit(func(int) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // queued behind the blocked worker: depth 4 > ShedDepth 2
+		if _, err := blocker.Submit(func(int) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, hdr, body := doReq(t, rangeReq(t, srv, "bob"))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded: status %d, body %s", code, body)
+	}
+	if !strings.Contains(body, "overloaded") {
+		t.Fatalf("load-shed body does not name the cause: %s", body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("load-shed rejection must carry Retry-After")
+	}
+
+	close(release)
+	blocker.Finish()
+	if code, _, body := doReq(t, rangeReq(t, srv, "bob")); code != http.StatusOK {
+		t.Fatalf("after drain: status %d, body %s", code, body)
+	}
+}
+
+// TestRetryAfterClientHelper: DoWithRetryAfter keeps retrying 429s (waits
+// capped for the test) and lands the request once capacity frees.
+func TestRetryAfterClientHelper(t *testing.T) {
+	srv, s := newTenantServer(t, sched.Options{Workers: 4},
+		sched.TenantConfig{Name: "acme", Weight: 1, MaxJobs: 1})
+
+	hold, err := s.StartJob("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		hold.Finish()
+	}()
+
+	req := rangeReq(t, srv, "acme")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := DoWithRetryAfter(http.DefaultClient, req.WithContext(ctx), 100, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("retrying client ended with %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestRejectionBurstLeaksNothing fires a burst of doomed submissions and
+// asserts the scheduler's accounting is untouched afterwards: rejected jobs
+// must not leak in-flight slots, queue entries, or job slots.
+func TestRejectionBurstLeaksNothing(t *testing.T) {
+	srv, s := newTenantServer(t, sched.Options{Workers: 4},
+		sched.TenantConfig{Name: "acme", Weight: 1, MaxJobs: 1})
+
+	hold, err := s.StartJob("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 25
+	var wg sync.WaitGroup
+	codes := make(chan int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _, _ := doReq(t, rangeReq(t, srv, "acme"))
+			codes <- code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("burst request got %d, want 429", code)
+		}
+	}
+
+	st := s.Stats()
+	ts := st.Tenants[0]
+	if ts.InFlight != 0 || ts.Queued != 0 || st.QueueDepth != 0 {
+		t.Fatalf("rejections leaked work: inflight=%d queued=%d depth=%d", ts.InFlight, ts.Queued, st.QueueDepth)
+	}
+	if ts.Jobs != 1 {
+		t.Fatalf("job slots leaked: %d held, want 1 (the manual hold)", ts.Jobs)
+	}
+	if ts.JobsRejected != burst {
+		t.Fatalf("rejected %d, want %d", ts.JobsRejected, burst)
+	}
+	hold.Finish()
+	if code, _, body := doReq(t, rangeReq(t, srv, "acme")); code != http.StatusOK {
+		t.Fatalf("after burst + release: status %d, body %s", code, body)
+	}
+	if st := s.Stats(); st.Tenants[0].Jobs != 0 {
+		t.Fatalf("job slot not released after success: %d", st.Tenants[0].Jobs)
+	}
+}
+
+// TestTenantMetricsExported: /debug/metrics grows the scheduler's series
+// once attached.
+func TestTenantMetricsExported(t *testing.T) {
+	srv, _ := newTenantServer(t, sched.Options{Workers: 4}, sched.TenantConfig{Name: "acme", Weight: 2})
+	if code, _, body := doReq(t, rangeReq(t, srv, "acme")); code != http.StatusOK {
+		t.Fatalf("job: status %d, body %s", code, body)
+	}
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"lakeharbor_sched_workers",
+		"lakeharbor_sched_queue_depth",
+		`lakeharbor_tenant_inflight{tenant="acme"}`,
+		`lakeharbor_tenant_dispatched_total{tenant="acme"}`,
+		`lakeharbor_tenant_fair_share_deficit{tenant="acme"}`,
+		`lakeharbor_tenant_queue_wait_seconds{tenant="acme",quantile="0.5"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/debug/metrics missing %s", want)
+		}
+	}
+}

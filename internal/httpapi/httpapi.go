@@ -27,6 +27,7 @@ import (
 	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/keycodec"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/sched"
 	"lakeharbor/internal/trace"
 )
 
@@ -39,6 +40,7 @@ type Server struct {
 	catalog    *catalog.Service // nil until AttachCatalog
 	recovery   *RecoveryInfo    // nil until AttachRecovery
 	ingestHook IngestHook       // nil unless SetIngestHook
+	sched      *sched.Scheduler // nil until AttachScheduler
 	extra      []func(io.Writer) // extra /debug/metrics writers
 }
 

@@ -79,6 +79,10 @@ func (s *Server) handleJobRange(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tenant, ok := s.jobOptions(w, r)
+	if !ok {
+		return
+	}
 
 	seeds, err := core.SeedRange(s.cluster, name, lo, hi)
 	if err != nil {
@@ -103,8 +107,9 @@ func (s *Server) handleJobRange(w http.ResponseWriter, r *http.Request) {
 		mu   sync.Mutex
 		kept []RecordJSON
 	)
-	res, err := core.Execute(r.Context(), job, s.cluster, s.cluster, core.Options{
+	opts := core.Options{
 		Threads: threads,
+		Tenant:  tenant,
 		Each: func(_ int, rec lake.Record) error {
 			mu.Lock()
 			if len(kept) < limit {
@@ -113,8 +118,17 @@ func (s *Server) handleJobRange(w http.ResponseWriter, r *http.Request) {
 			mu.Unlock()
 			return nil
 		},
-	})
+	}
+	if s.sched != nil {
+		// Only assign when attached: a typed nil in the interface would
+		// flip the executor onto the scheduler path with no scheduler.
+		opts.Scheduler = s.sched
+	}
+	res, err := core.Execute(r.Context(), job, s.cluster, s.cluster, opts)
 	if err != nil {
+		if writeAdmissionError(w, err) {
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

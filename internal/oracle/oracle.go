@@ -55,6 +55,12 @@ type Options struct {
 	// clean, and under armed transport chaos. Answers, emits, pointer
 	// conservation, and a zero-leak pool drain are all asserted.
 	Net bool
+	// Tenants enables the eighth arm: the job runs as a 3-tenant 9:3:1 mix
+	// on one shared weighted-fair scheduler — clean and under chaos — and
+	// every tenant's rows and stage emits must equal the single-tenant run,
+	// with admission (over-quota rejection), no-starvation, weighted-share,
+	// and drained-accounting invariants on top.
+	Tenants bool
 }
 
 // Report is the outcome of one seeded differential run.
@@ -177,6 +183,17 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 				}
 			}
 		}
+	}
+	if opts.Tenants {
+		// The tenant mix re-runs the job concurrently against the scenario
+		// cluster read-only (it arms and disarms its own chaos schedule),
+		// so it must precede the mutating lifecycle/restart arms.
+		var singleEmits []int64
+		if errA == nil {
+			singleEmits = resA.StageEmits
+		}
+		res, fails := runTenantsArm(ctx, sc, opts.Profile, singleEmits)
+		note("smpe-tenants", res, fails)
 	}
 	if opts.Lifecycle {
 		// Late arm: it mutates the scenario's index (drop + managed rebuild

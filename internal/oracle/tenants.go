@@ -1,0 +1,194 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"lakeharbor/internal/chaos"
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/sched"
+)
+
+// The eighth arm: multi-tenancy. The scenario's job runs as a 3-tenant mix
+// — three concurrent executions of the same job on ONE shared scheduler
+// with unequal weights (9:3:1) and one tenant held over its job quota —
+// first clean, then under an armed chaos schedule. Sharing a worker pool
+// with rivals and being throttled to a 1/13 fair share must never change an
+// answer: every tenant's row multiset and stage-by-stage emits must equal
+// the single-tenant run's. On top of the differential check the arm asserts
+// the scheduler's own contract:
+//
+//   - admission: the over-quota tenant is rejected with ErrOverQuota while
+//     its slot is held, and admitted after release;
+//   - no starvation: every admitted job completes (a watchdog turns a hung
+//     mix into a failure, not a hung oracle);
+//   - weighted fairness: when the mix produced a meaningful contention
+//     window (>= tenantWindowMin dispatches taken while all three tenants
+//     were backlogged), each tenant's observed share of that window is
+//     within tenantShareTol (relative) of its weight share;
+//   - accounting: the scheduler drains to zero queued/in-flight/admitted.
+
+const (
+	// tenantWindowMin is the minimum all-backlogged dispatch window for the
+	// weighted-share invariant to be meaningful; below it the mix never
+	// truly contended (tiny scenarios drain too fast) and the share check
+	// is skipped.
+	tenantWindowMin = 100
+	// tenantShareTol is the relative weighted-share error bound.
+	tenantShareTol = 0.15
+	// tenantStarveTimeout bounds one mix; a mix not done by then is a
+	// starvation/lost-task failure.
+	tenantStarveTimeout = 60 * time.Second
+)
+
+// tenantMix is the fixed 9:3:1 mix every scenario runs as.
+var tenantMix = []sched.TenantConfig{
+	{Name: "t-heavy", Weight: 9},
+	{Name: "t-mid", Weight: 3},
+	{Name: "t-light", Weight: 1, MaxJobs: 1},
+}
+
+// runTenantsArm executes the tenant mix clean and under chaos.
+// singleEmits is the clean single-tenant run's per-stage emit counts (nil
+// when that arm failed; the comparison is then skipped).
+func runTenantsArm(ctx context.Context, sc *scenario, profile chaos.Profile, singleEmits []int64) (*core.Result, []string) {
+	// Clean mix + admission checks.
+	res, fails := runTenantMix(ctx, sc, "smpe-tenants", 0, singleEmits)
+
+	// Chaos mix: same scheduler shape, faults armed. Retry budget follows
+	// the chaos arm: every heal may be observed by any of the three jobs.
+	schedule := chaos.Compile(sc.seed, sc.target, profile)
+	armed, err := schedule.Arm(sc.cluster)
+	if err != nil {
+		return res, append(fails, fmt.Sprintf("smpe-tenants-chaos: arming failed: %v", err))
+	}
+	cres, cfails := runTenantMix(ctx, sc, "smpe-tenants-chaos", schedule.TotalHeals()+2, singleEmits)
+	armed.Disarm()
+	if res == nil || (len(fails) == 0 && len(cfails) > 0) {
+		res = cres
+	}
+	return res, append(fails, cfails...)
+}
+
+// runTenantMix runs one 3-tenant mix on a fresh shared scheduler and checks
+// every invariant listed above. It returns a representative result — the
+// first diverging tenant's when any diverged, t-heavy's otherwise.
+func runTenantMix(ctx context.Context, sc *scenario, arm string, maxRetries int, singleEmits []int64) (*core.Result, []string) {
+	s, err := sched.New(sched.Options{Workers: 4, ShedDepth: -1}, tenantMix...)
+	if err != nil {
+		return nil, []string{fmt.Sprintf("%s: scheduler: %v", arm, err)}
+	}
+	defer s.Close()
+	var fails []string
+	fail := func(format string, args ...any) {
+		fails = append(fails, arm+": "+fmt.Sprintf(format, args...))
+	}
+
+	// Admission: hold t-light's single job slot, require a typed rejection,
+	// release, require admission. Done against the same scheduler the mix
+	// runs on, before any task exists.
+	hold, err := s.StartJob("t-light")
+	if err != nil {
+		fail("t-light first admission failed: %v", err)
+	} else {
+		if _, err := s.StartJob("t-light"); !errors.Is(err, sched.ErrOverQuota) {
+			fail("t-light over quota admitted anyway (err=%v)", err)
+		}
+		hold.Finish()
+		if probe, err := s.StartJob("t-light"); err != nil {
+			fail("t-light rejected after its slot was released: %v", err)
+		} else {
+			probe.Finish()
+		}
+	}
+
+	type tenantRun struct {
+		tenant string
+		res    *core.Result
+		err    error
+	}
+	runs := make(chan tenantRun, len(tenantMix))
+	for _, cfg := range tenantMix {
+		go func(tenant string) {
+			opts := core.Options{
+				MaxBatch:    sc.maxBatch,
+				KeepRecords: true,
+				Tenant:      tenant,
+				Scheduler:   s,
+			}
+			if maxRetries > 0 {
+				opts.MaxRetries = maxRetries
+				opts.RetryBackoff = 50 * time.Microsecond
+			}
+			res, err := core.ExecuteSMPE(ctx, sc.job, sc.cluster, sc.cluster, opts)
+			runs <- tenantRun{tenant, res, err}
+		}(cfg.Name)
+	}
+
+	// No starvation: every admitted job finishes, bounded by the watchdog.
+	var firstDiverged, heavy *core.Result
+	timeout := time.After(tenantStarveTimeout)
+	for done := 0; done < len(tenantMix); done++ {
+		select {
+		case r := <-runs:
+			sub := fmt.Sprintf("%s[%s]", arm, r.tenant)
+			tfails := checkArm(sub, sc, r.res, r.err, maxRetries)
+			if r.err == nil && r.res.Trace.Tenant != r.tenant {
+				tfails = append(tfails, fmt.Sprintf("%s: trace attributed to %q, want %q", sub, r.res.Trace.Tenant, r.tenant))
+			}
+			if r.err == nil && singleEmits != nil {
+				for i := range singleEmits {
+					if r.res.StageEmits[i] != singleEmits[i] {
+						tfails = append(tfails, fmt.Sprintf(
+							"%s: stage %d emits %d in the mix vs %d single-tenant", sub, i, r.res.StageEmits[i], singleEmits[i]))
+					}
+				}
+			}
+			fails = append(fails, tfails...)
+			if len(tfails) > 0 && firstDiverged == nil {
+				firstDiverged = r.res
+			}
+			if r.tenant == "t-heavy" {
+				heavy = r.res
+			}
+		case <-timeout:
+			fail("starvation: %d of %d tenant jobs still running after %v", len(tenantMix)-done, len(tenantMix), tenantStarveTimeout)
+			if firstDiverged == nil {
+				firstDiverged = heavy
+			}
+			return firstDiverged, fails
+		case <-ctx.Done():
+			return firstDiverged, append(fails, fmt.Sprintf("%s: context: %v", arm, ctx.Err()))
+		}
+	}
+
+	// Weighted fairness over the contention window, and clean drain.
+	st := s.Stats()
+	if st.WindowTotal >= tenantWindowMin {
+		for _, ts := range st.Tenants {
+			relErr := (ts.WindowShare - ts.FairShare) / ts.FairShare
+			if relErr < 0 {
+				relErr = -relErr
+			}
+			if relErr > tenantShareTol {
+				fail("weighted share: tenant %s observed %.4f of the window (%d dispatches), fair share %.4f, rel err %.2f > %.2f",
+					ts.Name, ts.WindowShare, st.WindowTotal, ts.FairShare, relErr, tenantShareTol)
+			}
+		}
+	}
+	if st.QueueDepth != 0 {
+		fail("scheduler left %d tasks queued after all jobs finished", st.QueueDepth)
+	}
+	for _, ts := range st.Tenants {
+		if ts.InFlight != 0 || ts.Jobs != 0 {
+			fail("tenant %s leaked inflight=%d jobs=%d", ts.Name, ts.InFlight, ts.Jobs)
+		}
+	}
+
+	if firstDiverged != nil {
+		return firstDiverged, fails
+	}
+	return heavy, fails
+}

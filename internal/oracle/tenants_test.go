@@ -1,0 +1,58 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/core"
+)
+
+// TestTenantsArmMatchesSingle is the ISSUE 8 acceptance sweep: the
+// smpe-tenants arm — each scenario run as a 9:3:1 three-tenant mix on one
+// shared weighted-fair scheduler, clean and under armed chaos — must match
+// the single-tenant answers over >= 30 seeds, with the over-quota tenant
+// rejected at admission, no admitted job starving, weighted shares within
+// the stated bound whenever a mix produced a real contention window, and
+// the scheduler draining to zero every time. CI runs this race-enabled
+// through chaosbench's tenant-oracle job.
+func TestTenantsArmMatchesSingle(t *testing.T) {
+	ctx := context.Background()
+	n := 35
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(2000 + i)
+		rep, err := Run(ctx, seed, Options{Tenants: true})
+		if err != nil {
+			t.Fatalf("seed %d: oracle harness failed: %v", seed, err)
+		}
+		if rep.Diverged() {
+			t.Errorf("seed %d diverged:\n  %s\n%s",
+				seed, strings.Join(rep.Failures, "\n  "), rep.Repro())
+		}
+	}
+}
+
+// TestTenantsArmCatchesInjectedBug points the tenant mix at the planted
+// tail-flush executor bug: a mix that cannot detect a wrong answer from one
+// of its tenants would make the whole arm vacuous.
+func TestTenantsArmCatchesInjectedBug(t *testing.T) {
+	core.SetFailpoint(core.FailpointDropTailFlush, true)
+	t.Cleanup(func() { core.SetFailpoint(core.FailpointDropTailFlush, false) })
+	ctx := context.Background()
+	for seed := int64(1); seed <= 40; seed++ {
+		rep, err := Run(ctx, seed, Options{Tenants: true})
+		if err != nil {
+			t.Fatalf("seed %d: oracle harness failed: %v", seed, err)
+		}
+		for _, f := range rep.Failures {
+			if strings.HasPrefix(f, "smpe-tenants") {
+				t.Logf("injected bug caught by tenant arm at seed %d: %s", seed, f)
+				return
+			}
+		}
+	}
+	t.Fatal("40 seeds ran with the tail-flush bug planted and the tenant arm caught nothing")
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lakeharbor/internal/core"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+)
+
+// newKVFixture builds a small single-table lake: file "kv" with nRecs rows,
+// key i, payload "v<i>".
+func newKVFixture(t testing.TB, nodes, nRecs int) *dfs.Cluster {
+	t.Helper()
+	ctx := context.Background()
+	c := dfs.NewCluster(dfs.Config{Nodes: nodes})
+	f, err := c.CreateFile("kv", dfs.Btree, nodes*2, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nRecs; i++ {
+		k := keycodec.Int64(int64(i))
+		if err := dfs.AppendRouted(ctx, f, k, lake.Record{Key: k, Data: []byte(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// pointJob selects every nRecs/stride-th record starting at off.
+func pointJob(t testing.TB, name string, nRecs, off, stride int) (*core.Job, int64) {
+	t.Helper()
+	var seeds []lake.Pointer
+	for i := off; i < nRecs; i += stride {
+		k := keycodec.Int64(int64(i))
+		seeds = append(seeds, lake.Pointer{File: "kv", PartKey: k, Key: k})
+	}
+	job, err := core.NewJob(name, seeds, core.LookupDeref{File: "kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job, int64(len(seeds))
+}
+
+// TestMultiTenantConcurrentJobs is the PR 5 twelve-job shared-cluster
+// stress reshaped into a real multi-tenant workload: twelve concurrent SMPE
+// jobs from three tenants with unequal weights and quotas, all riding ONE
+// shared scheduler over one cluster (run with -race in CI's stress job).
+// Every job's answer must be exact, Execute's built-in accounting check
+// must stay clean, and the scheduler must drain to zero with no tenant
+// quota breached.
+func TestMultiTenantConcurrentJobs(t *testing.T) {
+	const nRecs = 240
+	cluster := newKVFixture(t, 3, nRecs)
+	s, err := New(Options{Workers: 24},
+		TenantConfig{Name: "heavy", Weight: 9},
+		TenantConfig{Name: "mid", Weight: 3, MaxInFlight: 8},
+		TenantConfig{Name: "light", Weight: 1, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tenants := []string{"heavy", "mid", "light"}
+	const jobs = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := tenants[w%len(tenants)]
+			job, want := pointJob(t, fmt.Sprintf("points-%s-%d", tenant, w), nRecs, w, 5+w%3)
+			res, err := core.ExecuteSMPE(context.Background(), job, cluster, cluster, core.Options{
+				MaxBatch:  1 + w%4,
+				Tenant:    tenant,
+				Scheduler: s,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("job %d (%s): %w", w, tenant, err)
+				return
+			}
+			if res.Count != want {
+				errs <- fmt.Errorf("job %d (%s): count %d, want %d", w, tenant, res.Count, want)
+			}
+			if res.Trace.Tenant != tenant {
+				errs <- fmt.Errorf("job %d: trace tenant %q, want %q", w, res.Trace.Tenant, tenant)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if st.QueueDepth != 0 {
+		t.Errorf("scheduler drained to queue depth %d, want 0", st.QueueDepth)
+	}
+	for _, ts := range st.Tenants {
+		if ts.InFlight != 0 || ts.Jobs != 0 {
+			t.Errorf("tenant %s: inflight=%d jobs=%d after all jobs finished", ts.Name, ts.InFlight, ts.Jobs)
+		}
+		if ts.Dispatched == 0 {
+			t.Errorf("tenant %s dispatched no tasks", ts.Name)
+		}
+		if ts.JobsAdmitted != int64(jobs/len(tenants)) {
+			t.Errorf("tenant %s admitted %d jobs, want %d", ts.Name, ts.JobsAdmitted, jobs/len(tenants))
+		}
+		switch ts.Name {
+		case "mid":
+			if ts.InFlightHigh > 8 {
+				t.Errorf("tenant mid in-flight high-water %d exceeds cap 8", ts.InFlightHigh)
+			}
+		case "light":
+			if ts.InFlightHigh > 4 {
+				t.Errorf("tenant light in-flight high-water %d exceeds cap 4", ts.InFlightHigh)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+
+	"lakeharbor/internal/trace"
+)
+
+// TenantStats is one tenant's point-in-time slice of the scheduler.
+type TenantStats struct {
+	Name     string `json:"name"`
+	Weight   int    `json:"weight"`
+	Priority int    `json:"priority,omitempty"`
+
+	Queued   int `json:"queued"`
+	InFlight int `json:"inflight"`
+	Jobs     int `json:"jobs"`
+
+	Dispatched   int64 `json:"dispatched"`
+	Shed         int64 `json:"shed"`
+	JobsAdmitted int64 `json:"jobs_admitted"`
+	JobsRejected int64 `json:"jobs_rejected"`
+	InFlightHigh int   `json:"inflight_high"`
+
+	// FairShare is the tenant's entitled fraction (weight over the sum of
+	// all weights); WindowShare is the fraction of fairness-window
+	// dispatches (taken while every tenant was backlogged) the tenant
+	// actually received; Deficit = FairShare − WindowShare, positive when
+	// the tenant is being shortchanged. All zero until the window has
+	// samples.
+	FairShare   float64 `json:"fair_share"`
+	WindowShare float64 `json:"window_share"`
+	Deficit     float64 `json:"deficit"`
+
+	// Wait digests the tenant's queue-wait distribution in nanoseconds.
+	Wait trace.HistSummary `json:"wait"`
+
+	wait trace.HistSnapshot
+}
+
+// Stats is a point-in-time snapshot of the whole scheduler.
+type Stats struct {
+	Workers     int           `json:"workers"`
+	Spawned     int           `json:"spawned"`
+	Idle        int           `json:"idle"`
+	QueueDepth  int           `json:"queue_depth"`
+	ShedDepth   int           `json:"shed_depth"`
+	WindowTotal int64         `json:"window_total"`
+	Tenants     []TenantStats `json:"tenants"`
+}
+
+// Stats snapshots the scheduler. Tenants are sorted by name.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:     s.opts.Workers,
+		Spawned:     s.spawned,
+		Idle:        s.idle,
+		QueueDepth:  s.queueDepth,
+		ShedDepth:   s.opts.ShedDepth,
+		WindowTotal: s.windowTotal,
+	}
+	totalWeight := 0
+	for _, t := range s.order {
+		totalWeight += t.cfg.Weight
+	}
+	for _, t := range s.order {
+		ts := TenantStats{
+			Name:         t.cfg.Name,
+			Weight:       t.cfg.Weight,
+			Priority:     t.cfg.Priority,
+			Queued:       t.pending(),
+			InFlight:     t.inflight,
+			Jobs:         t.jobs,
+			Dispatched:   t.dispatched,
+			Shed:         t.shed,
+			JobsAdmitted: t.jobsAdmitted,
+			JobsRejected: t.jobsRejected,
+			InFlightHigh: t.inflightHigh,
+			wait:         t.waitHist.Snapshot(),
+		}
+		ts.Wait = ts.wait.Summary()
+		if totalWeight > 0 {
+			ts.FairShare = float64(t.cfg.Weight) / float64(totalWeight)
+		}
+		if s.windowTotal > 0 {
+			ts.WindowShare = float64(t.windowServed) / float64(s.windowTotal)
+			ts.Deficit = ts.FairShare - ts.WindowShare
+		}
+		st.Tenants = append(st.Tenants, ts)
+	}
+	return st
+}
+
+// WriteMetrics renders the scheduler's state in Prometheus text format:
+// pool-level lakeharbor_sched_* gauges plus per-tenant lakeharbor_tenant_*
+// series carrying a tenant label — in-flight, queue depth, shed counts,
+// fair-share deficit, and queue-wait quantiles.
+func (s *Scheduler) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+
+	fmt.Fprintf(w, "# HELP lakeharbor_sched_workers Cluster-wide worker ceiling.\n# TYPE lakeharbor_sched_workers gauge\nlakeharbor_sched_workers %d\n", st.Workers)
+	fmt.Fprintf(w, "# HELP lakeharbor_sched_workers_spawned Workers actually started (lazy spawn up to the ceiling).\n# TYPE lakeharbor_sched_workers_spawned gauge\nlakeharbor_sched_workers_spawned %d\n", st.Spawned)
+	fmt.Fprintf(w, "# HELP lakeharbor_sched_queue_depth Total queued, undispatched tasks across all tenants.\n# TYPE lakeharbor_sched_queue_depth gauge\nlakeharbor_sched_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "# HELP lakeharbor_sched_shed_depth Queue depth above which admission sheds new jobs.\n# TYPE lakeharbor_sched_shed_depth gauge\nlakeharbor_sched_shed_depth %d\n", st.ShedDepth)
+	fmt.Fprintf(w, "# HELP lakeharbor_sched_window_total Dispatches taken while every tenant was backlogged (fairness-window denominator).\n# TYPE lakeharbor_sched_window_total counter\nlakeharbor_sched_window_total %d\n", st.WindowTotal)
+
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	gauge("lakeharbor_tenant_inflight", "Tasks currently executing per tenant.")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(w, "lakeharbor_tenant_inflight{tenant=%q} %d\n", t.Name, t.InFlight)
+	}
+	gauge("lakeharbor_tenant_queued", "Tasks queued, not yet dispatched, per tenant.")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(w, "lakeharbor_tenant_queued{tenant=%q} %d\n", t.Name, t.Queued)
+	}
+	gauge("lakeharbor_tenant_jobs", "Jobs currently admitted per tenant.")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(w, "lakeharbor_tenant_jobs{tenant=%q} %d\n", t.Name, t.Jobs)
+	}
+	counter("lakeharbor_tenant_dispatched_total", "Tasks dispatched per tenant.")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(w, "lakeharbor_tenant_dispatched_total{tenant=%q} %d\n", t.Name, t.Dispatched)
+	}
+	counter("lakeharbor_tenant_shed_total", "Job submissions rejected (quota or load-shed) per tenant.")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(w, "lakeharbor_tenant_shed_total{tenant=%q} %d\n", t.Name, t.Shed)
+	}
+	counter("lakeharbor_tenant_jobs_admitted_total", "Jobs admitted per tenant.")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(w, "lakeharbor_tenant_jobs_admitted_total{tenant=%q} %d\n", t.Name, t.JobsAdmitted)
+	}
+	gauge("lakeharbor_tenant_fair_share_deficit", "Entitled minus observed dispatch share over the fairness window; positive = shortchanged.")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(w, "lakeharbor_tenant_fair_share_deficit{tenant=%q} %g\n", t.Name, t.Deficit)
+	}
+
+	fmt.Fprintf(w, "# HELP lakeharbor_tenant_queue_wait_seconds Queue wait (enqueue to dispatch) per tenant.\n# TYPE lakeharbor_tenant_queue_wait_seconds summary\n")
+	for _, t := range st.Tenants {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "lakeharbor_tenant_queue_wait_seconds{tenant=%q,quantile=%q} %g\n", t.Name, fmt.Sprintf("%g", q), float64(t.wait.Quantile(q))*1e-9)
+		}
+		fmt.Fprintf(w, "lakeharbor_tenant_queue_wait_seconds_sum{tenant=%q} %g\n", t.Name, float64(t.wait.Sum)*1e-9)
+		fmt.Fprintf(w, "lakeharbor_tenant_queue_wait_seconds_count{tenant=%q} %d\n", t.Name, t.wait.Count)
+	}
+}

@@ -43,8 +43,9 @@ type StageInfo struct {
 // Trace collects live execution telemetry for one job. Create it with New;
 // all methods are safe for concurrent use. The zero value is not usable.
 type Trace struct {
-	job   string
-	start time.Time
+	job    string
+	tenant string
+	start  time.Time
 
 	// slow is the slow-task threshold; tasks slower than this are counted
 	// per stage and reported through logf when it is non-nil.
@@ -170,6 +171,11 @@ func New(job string, stages []StageInfo, nodes int) *Trace {
 	return t
 }
 
+// SetTenant stamps the tenant the traced job runs on behalf of; every span,
+// event, and counter the trace records is then attributable to it through
+// the snapshot. Call before the job dispatches work.
+func (t *Trace) SetTenant(tenant string) { t.tenant = tenant }
+
 // EnableEvents turns on timeline capture with a ring of the given capacity
 // (DefaultEventCap when capacity <= 0). Without it, event-recording methods
 // are no-ops and snapshots carry no Events.
@@ -289,6 +295,9 @@ func storeMax(a *atomic.Int64, v int64) {
 type Snapshot struct {
 	// Job is the traced job's name.
 	Job string `json:"job"`
+	// Tenant is the principal the job ran on behalf of (empty for
+	// untenanted jobs), attributing every span and event below.
+	Tenant string `json:"tenant,omitempty"`
 	// ID is assigned by a Registry when the snapshot is recorded (0 until
 	// then).
 	ID int64 `json:"id,omitempty"`
@@ -430,6 +439,7 @@ type NodeSnapshot struct {
 func (t *Trace) Snapshot(err error) *Snapshot {
 	s := &Snapshot{
 		Job:     t.job,
+		Tenant:  t.tenant,
 		Start:   t.start,
 		Elapsed: time.Since(t.start),
 		Stages:  make([]StageSnapshot, len(t.stages)),
@@ -495,6 +505,9 @@ func (t *Trace) Snapshot(err error) *Snapshot {
 func (s *Snapshot) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "job %q %v", s.Job, s.Elapsed.Round(time.Microsecond))
+	if s.Tenant != "" {
+		fmt.Fprintf(&b, " tenant=%s", s.Tenant)
+	}
 	if s.Err != "" {
 		fmt.Fprintf(&b, " FAILED: %s", s.Err)
 	}
