@@ -2,7 +2,9 @@
 // structure-aware snapshot from a generated dataset, inspect one, verify
 // that it restores cleanly, or restore a lakeserve data directory —
 // snapshot plus WAL tail plus structure registry — and optionally compact
-// it into a fresh checkpoint.
+// it into a fresh checkpoint. `lakectl top` is the live ops view: it polls
+// one or more /debug/metrics endpoints (lakeserve, lakenode sidecars) and
+// renders tenants, nodes, and RPC latency quantiles in place.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	go run ./cmd/lakectl verify   -in lake.snap
 //	go run ./cmd/lakectl restore  -data DIR -kind tpch [-out compact.snap]
 //	go run ./cmd/lakectl restore  -in lake.snap [-wal wal.log] -kind claims
+//	go run ./cmd/lakectl top      [-once] [-interval 2s] localhost:8080 [127.0.0.1:7201 ...]
 package main
 
 import (
@@ -45,13 +48,15 @@ func main() {
 		cmdVerify(os.Args[2:])
 	case "restore":
 		cmdRestore(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl {snapshot|inspect|verify|restore} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl {snapshot|inspect|verify|restore|top} [flags]")
 	os.Exit(2)
 }
 

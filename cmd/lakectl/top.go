@@ -1,0 +1,328 @@
+package main
+
+// lakectl top: a live terminal view over one or more /debug/metrics
+// endpoints — lakeserve's federated view, a single lakenode sidecar, or
+// both. It polls each target, parses the Prometheus text exposition, and
+// renders the cluster's vitals in place: jobs and queue depth, per-tenant
+// share and deficit, per-node health, and RPC latency quantiles. With
+// -once it prints one plain-text snapshot and exits, for scripts and CI.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"lakeharbor/internal/promtext"
+)
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	var (
+		once     = fs.Bool("once", false, "print one plain-text snapshot and exit")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval")
+		timeout  = fs.Duration("timeout", time.Second, "per-target fetch timeout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lakectl top [-once] [-interval 2s] [-timeout 1s] target...")
+		fmt.Fprintln(os.Stderr, "  target: host:port or URL of a /debug/metrics endpoint (lakeserve or a lakenode -debug sidecar)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	targets := make([]topTarget, 0, fs.NArg())
+	for _, raw := range fs.Args() {
+		targets = append(targets, newTopTarget(raw))
+	}
+	client := &http.Client{Timeout: *timeout}
+	if *once {
+		renderTop(os.Stdout, client, targets)
+		return
+	}
+	for {
+		var buf strings.Builder
+		renderTop(&buf, client, targets)
+		// Home + clear-to-end redraws in place without a flash.
+		fmt.Print("\033[H\033[2J" + buf.String())
+		time.Sleep(*interval)
+	}
+}
+
+type topTarget struct {
+	name string // display label: host:port
+	url  string // full metrics URL
+}
+
+// newTopTarget normalizes "host:port", "http://host:port", or a full URL
+// into a /debug/metrics fetch target.
+func newTopTarget(raw string) topTarget {
+	base := strings.TrimSpace(raw)
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	name := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	url := strings.TrimSuffix(base, "/")
+	if !strings.Contains(strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://"), "/") {
+		url += "/debug/metrics"
+	}
+	return topTarget{name: name, url: url}
+}
+
+// metricSet indexes one scrape for rendering.
+type metricSet struct {
+	samples []promtext.Sample
+}
+
+func (m *metricSet) value(name string) (float64, bool) {
+	for _, s := range m.samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// labeled returns every sample of name keyed by one label's value,
+// excluding quantile sub-series unless the caller asks for them.
+func (m *metricSet) labeled(name, key string) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range m.samples {
+		if s.Name != name {
+			continue
+		}
+		if v, ok := s.Labels[key]; ok {
+			if _, isQ := s.Labels["quantile"]; isQ {
+				continue
+			}
+			out[v] = s.Value
+		}
+	}
+	return out
+}
+
+// quantiles collects {labelValue -> {quantile -> seconds}} for a summary
+// series, keyed by the given label ("op" or none for plain summaries).
+func (m *metricSet) quantiles(name, key string) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, s := range m.samples {
+		if s.Name != name {
+			continue
+		}
+		q, ok := s.Labels["quantile"]
+		if !ok {
+			continue
+		}
+		group := ""
+		if key != "" {
+			group = s.Labels[key]
+		}
+		if out[group] == nil {
+			out[group] = map[string]float64{}
+		}
+		out[group][q] = s.Value
+	}
+	return out
+}
+
+func renderTop(w io.Writer, client *http.Client, targets []topTarget) {
+	fmt.Fprintf(w, "lakeharbor top — %s\n", time.Now().Format("15:04:05"))
+	for _, t := range targets {
+		fmt.Fprintf(w, "\n== %s ==\n", t.name)
+		ms, err := fetchMetrics(client, t.url)
+		if err != nil {
+			fmt.Fprintf(w, "  DOWN: %v\n", err)
+			continue
+		}
+		renderTarget(w, ms)
+	}
+}
+
+func fetchMetrics(client *http.Client, url string) (*metricSet, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	samples, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &metricSet{samples: samples}, nil
+}
+
+func renderTarget(w io.Writer, ms *metricSet) {
+	// Identity line: component + uptime.
+	for _, s := range ms.samples {
+		if s.Name == "lakeharbor_build_info" {
+			up, _ := ms.value("lakeharbor_uptime_seconds")
+			fmt.Fprintf(w, "  %s (%s), up %s\n",
+				s.Labels["component"], s.Labels["go"], (time.Duration(up) * time.Second).String())
+			break
+		}
+	}
+
+	// Jobs / tasks / queue overview (lakeserve only).
+	if jobs, ok := ms.value("lakeharbor_jobs_total"); ok {
+		tasks, _ := ms.value("lakeharbor_tasks_total")
+		failed, _ := ms.value("lakeharbor_jobs_failed_total")
+		retries, _ := ms.value("lakeharbor_retries_total")
+		fmt.Fprintf(w, "  jobs %.0f (%.0f failed)  tasks %.0f  retries %.0f", jobs, failed, tasks, retries)
+		if depth, ok := ms.value("lakeharbor_sched_queue_depth"); ok {
+			workers, _ := ms.value("lakeharbor_sched_workers")
+			fmt.Fprintf(w, "  queue %.0f  workers %.0f", depth, workers)
+		}
+		if res, ok := ms.value("lakeharbor_structure_resident_bytes"); ok {
+			fmt.Fprintf(w, "  structures %s", fmtBytes(res))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Node-sidecar overview (lakenode only).
+	if conns, ok := ms.value("lakeharbor_node_open_conns"); ok {
+		parts, _ := ms.value("lakeharbor_node_partitions")
+		served, _ := ms.value("lakeharbor_node_requests_total")
+		draining, _ := ms.value("lakeharbor_node_draining")
+		state := "ready"
+		if draining > 0 {
+			state = "DRAINING"
+		}
+		fmt.Fprintf(w, "  %s  conns %.0f  partitions %.0f  rpcs %.0f\n", state, conns, parts, served)
+	}
+
+	renderTenants(w, ms)
+	renderClusterNodes(w, ms)
+	renderLatency(w, ms)
+}
+
+func renderTenants(w io.Writer, ms *metricSet) {
+	inflight := ms.labeled("lakeharbor_tenant_inflight", "tenant")
+	if len(inflight) == 0 {
+		return
+	}
+	queued := ms.labeled("lakeharbor_tenant_queued", "tenant")
+	dispatched := ms.labeled("lakeharbor_tenant_dispatched_total", "tenant")
+	deficit := ms.labeled("lakeharbor_tenant_fair_share_deficit", "tenant")
+	names := sortedKeys(inflight)
+	fmt.Fprintf(w, "  %-16s %9s %9s %12s %9s\n", "TENANT", "INFLIGHT", "QUEUED", "DISPATCHED", "DEFICIT")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-16s %9.0f %9.0f %12.0f %9.1f\n",
+			n, inflight[n], queued[n], dispatched[n], deficit[n])
+	}
+}
+
+func renderClusterNodes(w io.Writer, ms *metricSet) {
+	up := ms.labeled("lakeharbor_cluster_node_up", "node")
+	if len(up) == 0 {
+		return
+	}
+	conns := ms.labeled("lakeharbor_cluster_node_open_conns", "node")
+	parts := ms.labeled("lakeharbor_cluster_node_partitions", "node")
+	rpcs := ms.labeled("lakeharbor_cluster_rpcs_total", "node")
+	errs := ms.labeled("lakeharbor_cluster_rpc_errors_total", "node")
+	draining := ms.labeled("lakeharbor_cluster_node_draining", "node")
+	fails := ms.labeled("lakeharbor_cluster_scrape_failures_total", "node")
+	names := sortedKeys(up)
+	fmt.Fprintf(w, "  %-22s %-8s %7s %11s %10s %7s %9s\n", "NODE", "STATE", "CONNS", "PARTITIONS", "RPCS", "ERRS", "SCRAPEFAIL")
+	for _, n := range names {
+		state := "down"
+		switch {
+		case up[n] > 0 && draining[n] > 0:
+			state = "draining"
+		case up[n] > 0:
+			state = "up"
+		}
+		fmt.Fprintf(w, "  %-22s %-8s %7.0f %11.0f %10.0f %7.0f %9.0f\n",
+			n, state, conns[n], parts[n], rpcs[n], errs[n], fails[n])
+	}
+}
+
+// latencyTables lists the summary series worth a quantile table, with the
+// label that splits their rows.
+var latencyTables = []struct{ series, key, title string }{
+	{"lakeharbor_cluster_rpc_seconds", "op", "cluster RPC latency"},
+	{"lakeharbor_node_rpc_seconds", "op", "node RPC latency"},
+	{"lakeharbor_net_rpc_latency_seconds", "", "client RPC latency"},
+	{"lakeharbor_task_seconds", "", "task latency"},
+	{"lakeharbor_queue_wait_seconds", "", "queue wait"},
+}
+
+func renderLatency(w io.Writer, ms *metricSet) {
+	for _, tbl := range latencyTables {
+		qs := ms.quantiles(tbl.series, tbl.key)
+		if len(qs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %s:\n", tbl.title)
+		for _, group := range sortedQKeys(qs) {
+			row := qs[group]
+			label := group
+			if label == "" {
+				label = "all"
+			}
+			fmt.Fprintf(w, "    %-14s p50 %-10s p95 %-10s p99 %-10s\n",
+				label, fmtSeconds(pickQ(row, "0.5")), fmtSeconds(pickQ(row, "0.95", "0.9")), fmtSeconds(pickQ(row, "0.99")))
+		}
+	}
+}
+
+// pickQ returns the first present quantile among the given keys (series
+// differ between 0.9 and 0.95 mid-quantiles).
+func pickQ(row map[string]float64, keys ...string) float64 {
+	for _, k := range keys {
+		if v, ok := row[k]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+func fmtSeconds(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedQKeys(m map[string]map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -9,12 +9,22 @@
 //
 // Usage:
 //
-//	go run ./cmd/lakenode -addr 127.0.0.1:7101
-//	go run ./cmd/lakenode -addr 127.0.0.1:7102
+//	go run ./cmd/lakenode -addr 127.0.0.1:7101 -debug 127.0.0.1:7201
+//	go run ./cmd/lakenode -addr 127.0.0.1:7102 -debug 127.0.0.1:7202
 //	go run ./cmd/lakeserve -addr :8080 -kind tpch -nodes 127.0.0.1:7101,127.0.0.1:7102
 //
-// The process serves until SIGINT/SIGTERM, then closes the listener and
-// drains in-flight connections. Data is in-memory only: durability
+// With -debug the node serves an HTTP introspection sidecar on a separate
+// listener: /healthz (liveness), /readyz (503 once draining),
+// /debug/metrics (lakeharbor_node_* Prometheus series), /debug/state (the
+// JSON snapshot lakeserve's federation scrapes), and /debug/rpcs (recent
+// RPC spans with their job/stage/tenant attribution).
+//
+// The process serves until SIGINT/SIGTERM, then drains gracefully:
+// /readyz flips to 503, the RPC listener closes, in-flight requests finish
+// and answer, and after at most -drain-grace the process exits.
+// -drain-linger keeps the sidecar answering (503) for that long after the
+// drain completes, so health pollers observe the not-ready transition
+// before the process disappears. Data is in-memory only: durability
 // (-data/-snapshot) stays with the sim data plane for now.
 package main
 
@@ -22,9 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/nodenet"
@@ -32,6 +44,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7101", "TCP listen address for the node RPC")
+	debug := flag.String("debug", "", "HTTP listen address for the introspection sidecar (healthz/readyz/debug, empty = off)")
+	grace := flag.Duration("drain-grace", 5*time.Second, "max time to wait for in-flight RPCs on shutdown")
+	linger := flag.Duration("drain-linger", 0, "keep the debug sidecar up (answering 503 on /readyz) this long after draining")
 	quiet := flag.Bool("quiet", false, "suppress per-connection error logging")
 	flag.Parse()
 
@@ -44,6 +59,8 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	srv := nodenet.NewServer(dfs.Local(cluster), logf)
+	obs := nodenet.NewServerObs()
+	srv.Observe(obs)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lakenode: %v\n", err)
@@ -51,9 +68,25 @@ func main() {
 	}
 	log.Printf("lakenode: serving node RPC on %s", bound)
 
+	if *debug != "" {
+		dbg := &http.Server{Addr: *debug, Handler: nodenet.DebugHandler(srv, obs)}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("lakenode: debug sidecar: %v", err)
+			}
+		}()
+		log.Printf("lakenode: debug sidecar on %s", *debug)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("lakenode: shutting down")
-	srv.Close()
+	// Graceful drain: readiness flips first (the sidecar stays up so
+	// orchestrators see the 503), then in-flight RPCs finish.
+	log.Printf("lakenode: draining (grace %v)", *grace)
+	srv.Drain(*grace) //nolint:errcheck
+	if *debug != "" && *linger > 0 {
+		time.Sleep(*linger)
+	}
+	log.Printf("lakenode: drained; exiting")
 }

@@ -8,6 +8,7 @@
 //	go run ./cmd/lakeserve -addr :8080 -snapshot lake.snap
 //	go run ./cmd/lakeserve -addr :8080 -kind tpch -data ./lakedata
 //	go run ./cmd/lakeserve -addr :8080 -nodes 127.0.0.1:7101,127.0.0.1:7102
+//	go run ./cmd/lakeserve -addr :8080 -nodes 127.0.0.1:7101 -scrape 127.0.0.1:7201
 //	go run ./cmd/lakeserve -addr :8080 -kind tpch -tenants 'etl:9,adhoc:1:8:2' -workers 256
 //
 // Then e.g.:
@@ -40,6 +41,14 @@
 // /debug/metrics then additionally exposes lakeharbor_net_* series —
 // connection-pool occupancy, hedge fires/wins/suppressed duplicates, and
 // an RPC latency quantile summary.
+//
+// With -scrape host:port,... (the lakenodes' -debug sidecar addresses) the
+// server federates the fleet: it scrapes every node's /debug/state on
+// -scrape-interval and merges the per-node histograms into
+// lakeharbor_cluster_* series — per-node up/down, conns, partitions, RPC
+// and byte counters, and cluster-wide RPC latency quantiles computed over
+// the losslessly merged distributions. Scrape failures keep the last good
+// snapshot and count into lakeharbor_cluster_scrape_failures_total.
 //
 // With -tenants name:weight[:maxInFlight[:maxJobs]],... the server runs
 // multi-tenant: all job endpoints (/v1/jobs/...) require an X-Lake-Tenant
@@ -79,6 +88,7 @@ import (
 	"lakeharbor/internal/catalog"
 	"lakeharbor/internal/claims"
 	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/fed"
 	"lakeharbor/internal/httpapi"
 	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/lake"
@@ -103,6 +113,8 @@ func main() {
 		tenants  = flag.String("tenants", "", "multi-tenant admission: name:weight[:maxInFlight[:maxJobs]],... — job endpoints then require X-Lake-Tenant and share one scheduler")
 		workers  = flag.Int("workers", 0, "cluster-wide worker ceiling for the shared scheduler (0 = sched default; needs -tenants)")
 		shed     = flag.Int("shed", 0, "queued-task depth above which job admission sheds with 429 (0 = sched default, negative = never; needs -tenants)")
+		scrape   = flag.String("scrape", "", "comma-separated lakenode debug addresses (host:port,...) to federate into /debug/metrics as lakeharbor_cluster_* series")
+		scrapeIv = flag.Duration("scrape-interval", 2*time.Second, "node scrape interval with -scrape")
 		enablePP = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -236,6 +248,15 @@ func main() {
 	}
 	if netStats != nil {
 		api.AttachExtraMetrics(netStats.WriteMetrics)
+	}
+	if *scrape != "" {
+		federator := fed.New(strings.Split(*scrape, ","), fed.Options{Interval: *scrapeIv})
+		if err := federator.ScrapeOnce(ctx); err != nil {
+			log.Printf("lakeserve: initial node scrape: %v", err)
+		}
+		go federator.Start(ctx)
+		api.AttachExtraMetrics(federator.WriteMetrics)
+		fmt.Printf("federating node metrics from %s every %v\n", *scrape, *scrapeIv)
 	}
 	if pers != nil {
 		wal, err := store.OpenWAL(pers.walPath())

@@ -661,7 +661,10 @@ func (e *executor) process(tc *TaskCtx, t task, worker int) {
 	}
 
 	e.tr.AddBatch(t.stage, len(t.ptrs))
-	recs, err := e.derefTask(tc, t.stage, stage.Deref, t.ptrs)
+	// Dereferences hit storage, so their context carries the RPC trace
+	// identity (job, tenant, stage); remote transports forward it on the
+	// wire and attribute node-side spans to this job.
+	recs, err := e.derefTask(e.rpcCtx(tc, t.stage), t.stage, stage.Deref, t.ptrs)
 	if err != nil {
 		e.tr.AddError(t.stage)
 		e.fail(err)
@@ -735,6 +738,19 @@ func (e *executor) derefTask(tc *TaskCtx, stage int, d Dereferencer, ptrs []lake
 	return out, nil
 }
 
+// rpcCtx returns a TaskCtx whose context carries the RPC trace identity for
+// one dereference task: this job's name and tenant plus the issuing stage
+// (attempt 0; derefWithRetry re-stamps retries). The copy is shallow — one
+// small allocation per dereference task — and the sim fast path ignores the
+// value entirely.
+func (e *executor) rpcCtx(tc *TaskCtx, stage int) *TaskCtx {
+	out := *tc
+	out.Ctx = trace.WithRPC(tc.Ctx, trace.RPCInfo{
+		Job: e.job.Name, Tenant: e.opts.Tenant, Stage: stage,
+	})
+	return &out
+}
+
 // derefWithRetry runs a Dereferencer, retrying per Options.MaxRetries.
 // Context cancellation is never retried (a dying job must die promptly),
 // and neither are permanent errors (see Permanent): an unknown file or a
@@ -757,7 +773,11 @@ func (e *executor) derefWithRetry(tc *TaskCtx, stage int, d Dereferencer, ptr la
 		}
 		e.tr.AddRetry(stage)
 		e.tr.Mark(trace.EvRetry, stage, tc.Node, 0)
-		recs, err = d.Deref(tc, ptr)
+		// Retries carry their attempt ordinal in the RPC trace context so
+		// node-side spans distinguish first tries from re-drives.
+		rtc := *tc
+		rtc.Ctx = trace.WithRPCAttempt(tc.Ctx, attempt+1)
+		recs, err = d.Deref(&rtc, ptr)
 	}
 	return recs, err
 }

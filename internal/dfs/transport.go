@@ -224,7 +224,10 @@ func (c *Cluster) remoteDrop(name string) {
 
 // transportCall wraps one remote access with the same trace attribution the
 // sim path applies in admit: a local/remote observation on the calling
-// node's trace and, on success, the observed round-trip latency.
+// node's trace and, on success, the observed round-trip latency. Calls that
+// carry RPC trace context (executor dereferences) additionally land an
+// EvRPC interval on the job's timeline, so the critical-path extractor can
+// name wire-dominated segments as (stage, node, rpc).
 func transportCall(ctx context.Context, owner *node, call func() error) error {
 	remote := false
 	if caller := CallerNode(ctx); caller >= 0 && caller != owner.id {
@@ -241,7 +244,11 @@ func transportCall(ctx context.Context, owner *node, call func() error) error {
 	}
 	err := call()
 	if err == nil && io != nil {
-		io.ObserveLatency(remote, time.Since(t0))
+		d := time.Since(t0)
+		io.ObserveLatency(remote, d)
+		if rc := trace.RPCFrom(ctx); rc.Job != "" {
+			io.ObserveRPC(rc.Stage, t0, d)
+		}
 	}
 	return err
 }

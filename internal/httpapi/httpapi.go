@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 	"unicode/utf8"
 
 	"lakeharbor/internal/catalog"
@@ -36,12 +37,13 @@ type Server struct {
 	cluster    *dfs.Cluster
 	mux        *http.ServeMux
 	traces     *trace.Registry
-	structures *indexer.Manager // nil until AttachStructures
-	catalog    *catalog.Service // nil until AttachCatalog
-	recovery   *RecoveryInfo    // nil until AttachRecovery
-	ingestHook IngestHook       // nil unless SetIngestHook
-	sched      *sched.Scheduler // nil until AttachScheduler
+	structures *indexer.Manager  // nil until AttachStructures
+	catalog    *catalog.Service  // nil until AttachCatalog
+	recovery   *RecoveryInfo     // nil until AttachRecovery
+	ingestHook IngestHook        // nil unless SetIngestHook
+	sched      *sched.Scheduler  // nil until AttachScheduler
 	extra      []func(io.Writer) // extra /debug/metrics writers
+	start      time.Time         // process start, for the uptime gauge
 }
 
 // AttachExtraMetrics registers an additional writer appended to the
@@ -59,6 +61,7 @@ func New(cluster *dfs.Cluster) *Server {
 		cluster: cluster,
 		mux:     http.NewServeMux(),
 		traces:  trace.NewRegistry(0),
+		start:   time.Now(),
 	}
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("GET /v1/catalog/version", s.handleCatalogVersion)

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 
 	"lakeharbor/internal/core"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/obs"
 	"lakeharbor/internal/trace"
 )
 
@@ -217,10 +219,14 @@ func (s *Server) handleDebugJobCritPath(w http.ResponseWriter, r *http.Request) 
 
 // handleDebugMetrics serves Prometheus-style text metrics: cumulative job
 // execution counters from the trace registry plus the cluster's storage
-// access counters.
+// access counters, the lifecycle/persistence gauges, and every attached
+// extra writer (transport stats, scheduler, federation). All sections are
+// rendered into one buffer and passed through obs.Sanitize, so no attached
+// writer can duplicate a series or disagree on format with the rest.
 func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.traces.WriteMetrics(w)
+	var buf bytes.Buffer
+	obs.WriteBuildInfo(&buf, "lakeserve", s.start)
+	s.traces.WriteMetrics(&buf)
 	m := s.cluster.TotalMetrics()
 	storage := []struct {
 		name, help string
@@ -236,14 +242,15 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		{"lakeharbor_storage_appends_total", "Records appended.", m.Appends},
 	}
 	for _, c := range storage {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
-		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+		obs.Counter(&buf, c.name, c.help, c.v)
 	}
-	s.writeLifecycleMetrics(w)
-	s.writePersistenceMetrics(w)
+	s.writeLifecycleMetrics(&buf)
+	s.writePersistenceMetrics(&buf)
 	for _, fn := range s.extra {
-		fn(w)
+		fn(&buf)
 	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.Write(obs.Sanitize(buf.Bytes())) //nolint:errcheck
 }
 
 // RecordTrace lets callers that execute jobs against the same cluster

@@ -1,0 +1,161 @@
+package httpapi
+
+// Metrics lint: every lakeharbor_* series a fully-attached deployment can
+// export — lakeserve with scheduler, structures, catalog, recovery,
+// transport stats, and federation attached, plus a lakenode debug sidecar —
+// must be documented by name in README.md. This keeps the metrics reference
+// honest: adding a series without documenting it fails CI.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/catalog"
+	"lakeharbor/internal/dfs"
+	"lakeharbor/internal/fed"
+	"lakeharbor/internal/indexer"
+	"lakeharbor/internal/keycodec"
+	"lakeharbor/internal/lake"
+	"lakeharbor/internal/nodenet"
+	"lakeharbor/internal/promtext"
+	"lakeharbor/internal/sched"
+	"lakeharbor/internal/store"
+)
+
+func TestMetricsNamesDocumented(t *testing.T) {
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	doc := string(readme)
+	ctx := context.Background()
+
+	// A lakenode with traffic across every op, behind its debug sidecar.
+	nodeCluster := dfs.NewCluster(dfs.Config{Nodes: 1})
+	nsrv := nodenet.NewServer(dfs.Local(nodeCluster), func(string, ...any) {})
+	nobs := nodenet.NewServerObs()
+	nsrv.Observe(nobs)
+	addr, err := nsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nsrv.Close() })
+	netStats := nodenet.NewStats()
+	nc := nodenet.Dial(addr.String(), nodenet.Options{}, netStats)
+	t.Cleanup(func() { nc.Close() })
+	if err := nc.CreateFile(ctx, "nf", dfs.Btree, 1, lake.HashPartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Append(ctx, "nf", 0, []lake.Record{{Key: "k", Data: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Lookup(ctx, "nf", 0, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.LookupRange(ctx, "nf", 0, "a", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Scan(ctx, "nf", 0, func(lake.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nc.Stat(ctx, "nf", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.DropFile(ctx, "nf"); err != nil {
+		t.Fatal(err)
+	}
+	dbg := httptest.NewServer(nodenet.DebugHandler(nsrv, nobs))
+	t.Cleanup(dbg.Close)
+
+	// A lakeserve with every metrics hook attached.
+	cluster := dfs.NewCluster(dfs.Config{Nodes: 2})
+	f, err := cluster.CreateFile("events", dfs.Btree, 4, lake.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		k := keycodec.Int64(i)
+		if err := dfs.AppendRouted(ctx, f, k, lake.Record{Key: k, Data: []byte(fmt.Sprintf("e%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	api := New(cluster)
+	scheduler, err := sched.New(sched.Options{}, sched.TenantConfig{Name: "etl", Weight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(scheduler.Close)
+	api.AttachScheduler(scheduler)
+	api.AttachStructures(indexer.NewManager(ctx, cluster, indexer.ManagerOptions{}))
+	wal, err := store.OpenWAL(filepath.Join(t.TempDir(), "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	api.AttachCatalog(catalog.Attach(cluster, wal))
+	api.AttachRecovery(RecoveryInfo{Recovered: true})
+	api.AttachExtraMetrics(netStats.WriteMetrics)
+	federator := fed.New([]string{dbg.URL}, fed.Options{})
+	if err := federator.ScrapeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	api.AttachExtraMetrics(federator.WriteMetrics)
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+
+	// One tenant job so the trace registry and tenant series have data.
+	req, err := http.NewRequest("GET", srv.URL+"/v1/jobs/range?file=events&lo=int:0&hi=int:49&limit=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TenantHeader, "etl")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("tenant job status %d", resp.StatusCode)
+	}
+
+	names := map[string]bool{}
+	for _, url := range []string{srv.URL + "/debug/metrics", dbg.URL + "/debug/metrics"} {
+		r, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := promtext.Parse(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		for _, s := range samples {
+			if strings.HasPrefix(s.Name, "lakeharbor_") {
+				names[s.Name] = true
+			}
+		}
+	}
+	if len(names) < 40 {
+		t.Fatalf("only %d lakeharbor_* series collected — attachment wiring broke", len(names))
+	}
+
+	var missing []string
+	for name := range names {
+		// Summary constituents are documented by their family name.
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !strings.Contains(doc, name) && !strings.Contains(doc, base) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("%d exported series are not documented in README.md:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -57,7 +58,7 @@ func (s *Server) handleCatalogVersion(w http.ResponseWriter, r *http.Request) {
 
 // writePersistenceMetrics appends catalog-version and recovery gauges to
 // the /debug/metrics output.
-func (s *Server) writePersistenceMetrics(w http.ResponseWriter) {
+func (s *Server) writePersistenceMetrics(w io.Writer) {
 	if s.catalog != nil {
 		fmt.Fprintf(w, "# HELP lakeharbor_catalog_version Monotonic catalog version.\n# TYPE lakeharbor_catalog_version gauge\n")
 		fmt.Fprintf(w, "lakeharbor_catalog_version %d\n", s.catalog.Version())

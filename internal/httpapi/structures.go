@@ -3,6 +3,7 @@ package httpapi
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"lakeharbor/internal/indexer"
@@ -87,7 +88,7 @@ func (s *Server) handleStructureEvict(w http.ResponseWriter, r *http.Request) {
 
 // writeLifecycleMetrics appends the lifecycle counters to /debug/metrics
 // when a manager is attached.
-func (s *Server) writeLifecycleMetrics(w http.ResponseWriter) {
+func (s *Server) writeLifecycleMetrics(w io.Writer) {
 	if s.structures == nil {
 		return
 	}

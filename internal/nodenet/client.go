@@ -215,6 +215,12 @@ func idempotent(op byte) bool {
 // first response wins; the loser's response is counted as a suppressed
 // duplicate and its connection returns to the pool untainted.
 func (c *Client) call(ctx context.Context, req *request) (*response, error) {
+	// Forward the executor's RPC trace identity on the wire (flagCtx frame)
+	// so the node attributes its spans to the originating job. Untraced
+	// callers leave Ctx zero and the frame stays old-format byte-identical.
+	if rc := trace.RPCFrom(ctx); rc.Job != "" {
+		req.Ctx = TraceContext{Job: rc.Job, Tenant: rc.Tenant, Stage: max(rc.Stage, 0), Attempt: max(rc.Attempt, 0)}
+	}
 	delay := c.hedgeDelay()
 	if !idempotent(req.Op) || delay <= 0 {
 		resp, err, _ := c.attempt(ctx, req)

@@ -49,6 +49,25 @@ const (
 	opStat
 )
 
+// flagCtx is the trace-context version bit on the request op byte. When set,
+// a trace-context block (job, stage, tenant, attempt) sits between the
+// request id and the file name; when clear the frame is byte-identical to
+// the pre-context wire format, so old and new peers interoperate as long as
+// the sender carries no context. An old server receiving a flagged frame
+// rejects it as an unknown op (statusPermanent) rather than misparsing it.
+const flagCtx byte = 0x80
+
+// TraceContext is the optional per-request trace identity carried on the
+// wire: which job caused this RPC, from which stage, for which tenant, and
+// on which retry attempt. The zero value means "no context" and encodes
+// nothing.
+type TraceContext struct {
+	Job     string
+	Tenant  string
+	Stage   int
+	Attempt int
+}
+
 // Response statuses. The numeric values are wire format — do not reorder.
 const (
 	statusOK byte = iota
@@ -104,8 +123,8 @@ func readFrame(r io.Reader) ([]byte, error) {
 // encoder builds a payload in memory; nothing it writes can fail.
 type encoder struct{ buf []byte }
 
-func (e *encoder) byte(b byte)   { e.buf = append(e.buf, b) }
-func (e *encoder) u64(v uint64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) byte(b byte)  { e.buf = append(e.buf, b) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
 func (e *encoder) uvarint(v uint64) {
 	e.buf = binary.AppendUvarint(e.buf, v)
 }
@@ -186,6 +205,20 @@ func (d *decoder) count() int {
 	return int(v)
 }
 
+// smallInt decodes a bounded non-negative integer (stage/attempt ordinals);
+// anything beyond maxSaneCount is provably corrupt.
+func (d *decoder) smallInt(what string) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > maxSaneCount {
+		d.fail("absurd " + what)
+		return 0
+	}
+	return int(v)
+}
+
 func (d *decoder) string() string {
 	n := d.count()
 	if d.err != nil {
@@ -232,6 +265,7 @@ func (d *decoder) finish() error {
 type request struct {
 	Op    byte
 	ReqID uint64
+	Ctx   TraceContext // optional; encoded only when non-zero (flagCtx)
 
 	File      string // all ops
 	Partition int    // data ops
@@ -247,8 +281,19 @@ type request struct {
 
 func (r *request) encode() []byte {
 	e := &encoder{}
-	e.byte(r.Op)
+	op := r.Op
+	hasCtx := r.Ctx != (TraceContext{})
+	if hasCtx {
+		op |= flagCtx
+	}
+	e.byte(op)
 	e.u64(r.ReqID)
+	if hasCtx {
+		e.string(r.Ctx.Job)
+		e.uvarint(uint64(r.Ctx.Stage))
+		e.string(r.Ctx.Tenant)
+		e.uvarint(uint64(r.Ctx.Attempt))
+	}
 	e.string(r.File)
 	switch r.Op {
 	case opCreate:
@@ -282,7 +327,15 @@ func (r *request) encode() []byte {
 
 func decodeRequest(payload []byte) (*request, error) {
 	d := &decoder{buf: payload}
-	r := &request{Op: d.byte(), ReqID: d.u64(), File: d.string()}
+	raw := d.byte()
+	r := &request{Op: raw &^ flagCtx, ReqID: d.u64()}
+	if raw&flagCtx != 0 {
+		r.Ctx.Job = d.string()
+		r.Ctx.Stage = d.smallInt("trace stage")
+		r.Ctx.Tenant = d.string()
+		r.Ctx.Attempt = d.smallInt("trace attempt")
+	}
+	r.File = d.string()
 	switch r.Op {
 	case opCreate:
 		r.Kind = int(d.uvarint())

@@ -24,6 +24,14 @@ func sampleRequests() []*request {
 			{Key: "", Data: nil},
 		}},
 		{Op: opStat, ReqID: 8, File: "base", Partition: 0},
+		// Trace-context-bearing frames (flagCtx layout).
+		{Op: opLookupBatch, ReqID: 9, File: "base", Partition: 1, Keys: []lake.Key{"k"},
+			Ctx: TraceContext{Job: "join-q7", Tenant: "etl", Stage: 2, Attempt: 1}},
+		{Op: opScan, ReqID: 10, File: "base", Partition: 0,
+			Ctx: TraceContext{Job: "scan-all", Stage: 0}},
+		{Op: opAppend, ReqID: 11, File: "base", Partition: 2,
+			Recs: []lake.Record{{Key: "k", Data: []byte("v")}},
+			Ctx:  TraceContext{Job: "ingest", Tenant: "adhoc", Stage: 3, Attempt: 2}},
 	}
 }
 

@@ -226,8 +226,8 @@ func TestUndecodablePayloadIsPermanent(t *testing.T) {
 		payload := []byte{200, 0, 0, 0, 0, 0, 0, 0, 0}
 		var hdr [4]byte
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-		conn.Write(hdr[:])    //nolint:errcheck
-		conn.Write(payload)   //nolint:errcheck
+		conn.Write(hdr[:])  //nolint:errcheck
+		conn.Write(payload) //nolint:errcheck
 	}()
 
 	c := Dial(ln.Addr().String(), Options{RequestTimeout: time.Second}, nil)

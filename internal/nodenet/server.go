@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/lake"
@@ -26,12 +27,14 @@ import (
 type Server struct {
 	backend dfs.NodeTransport
 	logf    func(format string, args ...any)
+	obs     atomic.Pointer[ServerObs] // nil unless Observe; nil-safe recording
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 
 	served atomic.Int64 // requests answered, for tests/ops
 }
@@ -67,6 +70,57 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 
 // Served returns how many requests the server has answered.
 func (s *Server) Served() int64 { return s.served.Load() }
+
+// Observe attaches an observability registry; every subsequently served
+// request is recorded into it. Safe to call while the server is listening —
+// connections opened before the call are counted from their next request.
+func (s *Server) Observe(o *ServerObs) { s.obs.Store(o) }
+
+// Draining reports whether the server is in graceful drain (the sidecar's
+// /readyz flips to 503 on it).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: it stops accepting, lets every
+// in-flight request finish and write its response, then closes. Idle
+// connections are poked with an immediate read deadline so their blocked
+// reads return; a connection mid-execute is untouched (only reads are
+// deadlined) and exits after answering. If the drain outlives grace the
+// remaining connections are closed hard. Safe to call more than once.
+func (s *Server) Drain(grace time.Duration) error {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+	}
+	return s.Close()
+}
 
 // Close stops accepting, closes every live connection, and waits for the
 // per-connection goroutines to drain.
@@ -107,8 +161,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
+	obs := s.obs.Load()
+	obs.connOpened()
 	defer func() {
 		conn.Close()
+		obs.connClosed()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -116,7 +173,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
 				s.logf("nodenet: %s: read: %v", conn.RemoteAddr(), err)
 			}
 			return
@@ -131,13 +188,23 @@ func (s *Server) handleConn(conn net.Conn) {
 			writeFrame(conn, resp.encode(0)) //nolint:errcheck
 			return
 		}
+		t0 := time.Now()
 		resp := s.execute(req)
 		s.served.Add(1)
-		if err := writeFrame(conn, resp.encode(req.Op)); err != nil {
+		out := resp.encode(req.Op)
+		s.obs.Load().record(req, resp, time.Since(t0), len(payload), len(out))
+		if err := writeFrame(conn, out); err != nil {
 			s.logf("nodenet: %s: write: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
+}
+
+// isTimeout reports a deadline-induced read failure — the expected way idle
+// connections exit during Drain, not worth a log line.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // execute runs one decoded request against the backend and classifies the

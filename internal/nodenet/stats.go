@@ -1,10 +1,10 @@
 package nodenet
 
 import (
-	"fmt"
 	"io"
 	"sync/atomic"
 
+	"lakeharbor/internal/obs"
 	"lakeharbor/internal/trace"
 )
 
@@ -145,21 +145,13 @@ func (s *Stats) WriteMetrics(w io.Writer) {
 	if s == nil {
 		return
 	}
-	writeGauge(w, "lakeharbor_net_conns_open", "live TCP connections to lakenode servers", s.OpenConns())
-	writeGauge(w, "lakeharbor_net_pool_inflight", "requests currently holding a connection-pool slot", s.InFlight())
-	writeCounter(w, "lakeharbor_net_conns_dialed_total", "TCP connections dialed", s.dials.Load())
-	writeCounter(w, "lakeharbor_net_rpcs_total", "node RPC attempts completed", s.rpcs.Load())
-	writeCounter(w, "lakeharbor_net_rpc_errors_total", "node RPC attempts that failed", s.rpcErrors.Load())
-	writeCounter(w, "lakeharbor_net_hedge_fires_total", "hedged second attempts launched", s.hedgeFires.Load())
-	writeCounter(w, "lakeharbor_net_hedge_wins_total", "hedged attempts that answered first", s.hedgeWins.Load())
-	writeCounter(w, "lakeharbor_net_hedge_dups_total", "duplicate hedge responses suppressed", s.hedgeDups.Load())
+	obs.Gauge(w, "lakeharbor_net_conns_open", "live TCP connections to lakenode servers", s.OpenConns())
+	obs.Gauge(w, "lakeharbor_net_pool_inflight", "requests currently holding a connection-pool slot", s.InFlight())
+	obs.Counter(w, "lakeharbor_net_conns_dialed_total", "TCP connections dialed", s.dials.Load())
+	obs.Counter(w, "lakeharbor_net_rpcs_total", "node RPC attempts completed", s.rpcs.Load())
+	obs.Counter(w, "lakeharbor_net_rpc_errors_total", "node RPC attempts that failed", s.rpcErrors.Load())
+	obs.Counter(w, "lakeharbor_net_hedge_fires_total", "hedged second attempts launched", s.hedgeFires.Load())
+	obs.Counter(w, "lakeharbor_net_hedge_wins_total", "hedged attempts that answered first", s.hedgeWins.Load())
+	obs.Counter(w, "lakeharbor_net_hedge_dups_total", "duplicate hedge responses suppressed", s.hedgeDups.Load())
 	s.lat.Snapshot().WriteSummary(w, "lakeharbor_net_rpc_latency_seconds", "node RPC round-trip latency", 1e-9)
-}
-
-func writeGauge(w io.Writer, name, help string, v int64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-}
-
-func writeCounter(w io.Writer, name, help string, v int64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 }

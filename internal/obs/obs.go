@@ -1,0 +1,139 @@
+// Package obs is the shared Prometheus-text plumbing of every LakeHarbor
+// debug surface: lakeserve's /debug/metrics, the lakenode sidecar, and the
+// federation layer all emit through the helpers here, so the components
+// cannot disagree on exposition format, and the Sanitize pass gives the
+// composed output one writer path — duplicate series (two hooks exporting
+// the same name+labels) and repeated HELP/TYPE headers are dropped instead
+// of corrupting the scrape.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"lakeharbor/internal/trace"
+)
+
+// ContentType is the Prometheus text exposition content type every debug
+// metrics endpoint serves.
+const ContentType = "text/plain; version=0.0.4"
+
+// Counter emits one unlabeled counter with its HELP/TYPE header.
+func Counter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// Gauge emits one unlabeled gauge with its HELP/TYPE header.
+func Gauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// GaugeF emits one unlabeled float gauge with its HELP/TYPE header.
+func GaugeF(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// Header emits the HELP/TYPE block for a labeled family; follow it with
+// Sample calls.
+func Header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one labeled sample. labels alternates key, value.
+func Sample(w io.Writer, name string, labels []string, v float64) {
+	fmt.Fprintf(w, "%s%s %g\n", name, renderLabels(labels), v)
+}
+
+// SampleInt emits one labeled integer sample. labels alternates key, value.
+func SampleInt(w io.Writer, name string, labels []string, v int64) {
+	fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(labels), v)
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Summary emits one labeled quantile summary from a histogram snapshot:
+// quantile samples plus _sum and _count, all carrying the given labels.
+// scale converts recorded units to the exported unit (1e-9 for ns→s).
+// Unlike trace.HistSnapshot.WriteSummary it supports label sets, which the
+// per-op node and cluster series need; the HELP/TYPE header must already
+// have been written (Header with type "summary").
+func Summary(w io.Writer, name string, labels []string, snap trace.HistSnapshot, scale float64, quantiles ...float64) {
+	for _, q := range quantiles {
+		ql := append(append([]string{}, labels...), "quantile", fmt.Sprintf("%g", q))
+		Sample(w, name, ql, float64(snap.Quantile(q))*scale)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, renderLabels(labels), float64(snap.Sum)*scale)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), snap.Count)
+}
+
+// WriteBuildInfo emits the shared identity series every LakeHarbor debug
+// endpoint starts with: lakeharbor_build_info{component,go} 1 and the
+// process uptime gauge.
+func WriteBuildInfo(w io.Writer, component string, start time.Time) {
+	Header(w, "lakeharbor_build_info", "gauge", "Build and runtime identity (always 1).")
+	Sample(w, "lakeharbor_build_info", []string{"component", component, "go", runtime.Version()}, 1)
+	GaugeF(w, "lakeharbor_uptime_seconds", "Seconds since the process started.", time.Since(start).Seconds())
+}
+
+// Sanitize is the one-writer-path guard for composed metrics output: it
+// takes the concatenation of several writers' sections and drops exact
+// duplicate samples (same series name and label set — the first occurrence
+// wins) and repeated HELP/TYPE headers for a name already described. The
+// result is a valid exposition no matter how many hooks contributed.
+func Sanitize(raw []byte) []byte {
+	var out bytes.Buffer
+	out.Grow(len(raw))
+	seenSeries := make(map[string]bool)
+	seenHeader := make(map[string]bool)
+	for _, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			// "# HELP name ..." / "# TYPE name ..." — dedupe per (kind, name).
+			fields := strings.Fields(trimmed)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				key := fields[1] + " " + fields[2]
+				if seenHeader[key] {
+					continue
+				}
+				seenHeader[key] = true
+			}
+			out.WriteString(line)
+			out.WriteByte('\n')
+			continue
+		}
+		// A sample line: everything before the final space is the series id
+		// (name plus rendered labels; values never contain spaces).
+		id := trimmed
+		if i := strings.LastIndexByte(trimmed, ' '); i > 0 {
+			id = trimmed[:i]
+		}
+		if seenSeries[id] {
+			continue
+		}
+		seenSeries[id] = true
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

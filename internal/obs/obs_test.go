@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lakeharbor/internal/trace"
+)
+
+// TestSanitizeDropsDuplicates: two writers exporting the same series must
+// yield one sample (first wins) and one HELP/TYPE pair.
+func TestSanitizeDropsDuplicates(t *testing.T) {
+	var b strings.Builder
+	Counter(&b, "lakeharbor_x_total", "first writer.", 7)
+	Counter(&b, "lakeharbor_x_total", "second writer disagrees.", 9)
+	Header(&b, "lakeharbor_y", "gauge", "labeled family.")
+	SampleInt(&b, "lakeharbor_y", []string{"node", "a"}, 1)
+	SampleInt(&b, "lakeharbor_y", []string{"node", "a"}, 2)
+	SampleInt(&b, "lakeharbor_y", []string{"node", "b"}, 3)
+
+	out := string(Sanitize([]byte(b.String())))
+	if got := strings.Count(out, "lakeharbor_x_total 7"); got != 1 {
+		t.Fatalf("first sample kept %d times, want 1\n%s", got, out)
+	}
+	if strings.Contains(out, "lakeharbor_x_total 9") {
+		t.Fatalf("duplicate sample survived:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE lakeharbor_x_total"); got != 1 {
+		t.Fatalf("TYPE header kept %d times, want 1", got)
+	}
+	if !strings.Contains(out, `lakeharbor_y{node="a"} 1`) || strings.Contains(out, `lakeharbor_y{node="a"} 2`) {
+		t.Fatalf("labeled dedupe wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `lakeharbor_y{node="b"} 3`) {
+		t.Fatalf("distinct label set dropped:\n%s", out)
+	}
+}
+
+// TestSummaryLabels: labeled summaries carry the labels on quantile, _sum,
+// and _count lines.
+func TestSummaryLabels(t *testing.T) {
+	var h trace.Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(int64(i+1) * 1000)
+	}
+	var b strings.Builder
+	Summary(&b, "lakeharbor_rpc_seconds", []string{"op", "scan"}, h.Snapshot(), 1e-9, 0.5, 0.99)
+	out := b.String()
+	for _, want := range []string{
+		`lakeharbor_rpc_seconds{op="scan",quantile="0.5"}`,
+		`lakeharbor_rpc_seconds{op="scan",quantile="0.99"}`,
+		`lakeharbor_rpc_seconds_sum{op="scan"}`,
+		`lakeharbor_rpc_seconds_count{op="scan"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteBuildInfo(t *testing.T) {
+	var b strings.Builder
+	WriteBuildInfo(&b, "lakeserve", time.Now().Add(-time.Minute))
+	out := b.String()
+	if !strings.Contains(out, `lakeharbor_build_info{component="lakeserve",go="go`) {
+		t.Fatalf("build info missing identity labels:\n%s", out)
+	}
+	if !strings.Contains(out, "lakeharbor_uptime_seconds ") {
+		t.Fatalf("uptime gauge missing:\n%s", out)
+	}
+}

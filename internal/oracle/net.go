@@ -20,6 +20,7 @@ import (
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/nodenet"
+	"lakeharbor/internal/trace"
 )
 
 // netHedgeAfter is the fixed hedge delay for the net arm. Over loopback an
@@ -55,9 +56,13 @@ func runNetArm(ctx context.Context, sc *scenario) (*core.Result, []string, netSt
 		}
 	}()
 	quiet := func(string, ...any) {}
+	observers := make([]*nodenet.ServerObs, 0, nodes)
 	for i := 0; i < nodes; i++ {
 		backing := dfs.NewCluster(dfs.Config{Nodes: 1})
 		srv := nodenet.NewServer(dfs.Local(backing), quiet)
+		obs := nodenet.NewServerObs()
+		srv.Observe(obs)
+		observers = append(observers, obs)
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, []string{fmt.Sprintf("smpe-net: listen node %d: %v", i, err)}, ns
@@ -99,6 +104,9 @@ func runNetArm(ctx context.Context, sc *scenario) (*core.Result, []string, netSt
 	}
 	res, err := core.ExecuteSMPE(ctx, sc.job, netCluster, netCluster, opts)
 	fails := checkArm("smpe-net", sc, res, err, cleanRetries)
+	for _, f := range checkAttribution(sc, res, observers) {
+		fails = append(fails, f)
+	}
 
 	// Chaos run: arm every wrapper, size retries to out-wait the combined
 	// drop budget, and demand the same answer.
@@ -127,6 +135,59 @@ func runNetArm(ctx context.Context, sc *scenario) (*core.Result, []string, netSt
 		fails = append(fails, fmt.Sprintf("smpe-net: %d connections leaked after pool drain", ns.LeakedConns))
 	}
 	return res, fails, ns
+}
+
+// checkAttribution asserts the observability plane worked end to end on the
+// clean run: the wire trace context reached the servers (node-side spans
+// name the job that caused them), the client recorded EvRPC events, and the
+// critical path can name a remote (stage, node, rpc) segment.
+func checkAttribution(sc *scenario, res *core.Result, observers []*nodenet.ServerObs) []string {
+	if res == nil || res.Trace == nil {
+		return nil // checkArm already reported the failure
+	}
+	var fails []string
+
+	attributed := 0
+	for _, o := range observers {
+		for _, span := range o.Spans() {
+			if span.Job != "" {
+				attributed++
+				if span.Job != sc.job.Name {
+					fails = append(fails, fmt.Sprintf(
+						"smpe-net: node span attributed to job %q, want %q", span.Job, sc.job.Name))
+				}
+				if span.Stage < 0 {
+					fails = append(fails, fmt.Sprintf(
+						"smpe-net: node span for job %q has negative stage %d", span.Job, span.Stage))
+				}
+			}
+		}
+	}
+	if attributed == 0 {
+		fails = append(fails, "smpe-net: no node-side RPC span carried a job attribution")
+	}
+
+	rpcEvents := 0
+	for _, ev := range res.Trace.Events {
+		if ev.Kind == trace.EvRPC {
+			rpcEvents++
+		}
+	}
+	if rpcEvents == 0 {
+		fails = append(fails, "smpe-net: clean run recorded no rpc timeline events")
+		return fails
+	}
+	rpcSegs := 0
+	for _, seg := range trace.CriticalPath(res.Trace.Events, 64) {
+		if seg.Phase == "rpc" {
+			rpcSegs++
+		}
+	}
+	if rpcSegs == 0 {
+		fails = append(fails, fmt.Sprintf(
+			"smpe-net: critical path names no (stage, node, rpc) segment despite %d rpc events", rpcEvents))
+	}
+	return fails
 }
 
 // mirrorData replays src's catalog and partition contents onto dst,

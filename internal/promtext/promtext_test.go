@@ -1,0 +1,61 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMixedDocument(t *testing.T) {
+	doc := `# HELP lakeharbor_jobs_total Jobs executed.
+# TYPE lakeharbor_jobs_total counter
+lakeharbor_jobs_total 42
+
+lakeharbor_uptime_seconds 12.5
+lakeharbor_node_rpcs_total{op="scan"} 7
+lakeharbor_cluster_rpc_seconds{op="lookup_batch",quantile="0.99"} 0.00123
+lakeharbor_y{node="a b",msg="quo\"te"} 1
+lakeharbor_ts 3 1700000000
+`
+	samples, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples, want 6: %+v", len(samples), samples)
+	}
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name+s.Label("op")+s.Label("node")] = s
+	}
+	if s := byName["lakeharbor_jobs_total"]; s.Value != 42 || s.Labels != nil {
+		t.Fatalf("plain counter wrong: %+v", s)
+	}
+	if s := byName["lakeharbor_uptime_seconds"]; s.Value != 12.5 {
+		t.Fatalf("float value wrong: %+v", s)
+	}
+	if s := byName["lakeharbor_node_rpcs_totalscan"]; s.Value != 7 || s.Label("op") != "scan" {
+		t.Fatalf("labeled sample wrong: %+v", s)
+	}
+	if s := byName["lakeharbor_cluster_rpc_secondslookup_batch"]; s.Label("quantile") != "0.99" {
+		t.Fatalf("quantile label wrong: %+v", s)
+	}
+	if s := byName["lakeharbor_ya b"]; s.Label("msg") != `quo"te` {
+		t.Fatalf("escaped label wrong: %+v", s)
+	}
+	if s := byName["lakeharbor_ts"]; s.Value != 3 {
+		t.Fatalf("timestamped sample wrong: %+v", s)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"lakeharbor_x notanumber\n",
+		"lakeharbor_x{op=\"unterminated 1\n",
+		"lakeharbor_x{op=unquoted} 1\n",
+		"loneword\n",
+	} {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("Parse accepted %q", doc)
+		}
+	}
+}

@@ -30,6 +30,11 @@ const (
 	// EvSplit marks a failed batch falling back to per-pointer retries;
 	// Ptrs carries the batch size that split.
 	EvSplit EventKind = "split"
+	// EvRPC is a completed remote storage round trip issued by a node: TS
+	// is the call begin, Dur its round-trip time. The interval nests inside
+	// the issuing task's EvTask span, so the critical-path extractor can
+	// name wire-dominated segments as (stage, node, rpc).
+	EvRPC EventKind = "rpc"
 )
 
 // Event is one entry of a job's timeline. All times are nanosecond offsets
@@ -103,6 +108,10 @@ func (r *EventRing) Snapshot() (events []Event, dropped int64) {
 	return events, r.dropped
 }
 
+// rpcTrackTid is the synthetic thread id RPC spans render on in Chrome
+// trace output, one shared track per node process.
+const rpcTrackTid = 1 << 20
+
 // chromeEvent is one entry of the Chrome trace-event JSON array.
 type chromeEvent struct {
 	Name string         `json:"name"`
@@ -153,6 +162,14 @@ func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
 			ce.Ph = "X"
 			ce.Dur = float64(ev.Dur) / 1e3
 			ce.Args = map[string]any{"stage": ev.Stage, "ptrs": ev.Ptrs, "queueWaitUs": float64(ev.Wait) / 1e3}
+		case EvRPC:
+			// RPC spans get their own per-node track (tasks live on worker
+			// tids) so wire time is visible without overlapping task slices.
+			ce.Name = "rpc " + stageName(ev.Stage)
+			ce.Ph = "X"
+			ce.Tid = rpcTrackTid
+			ce.Dur = float64(ev.Dur) / 1e3
+			ce.Args = map[string]any{"stage": ev.Stage}
 		case EvEnqueue:
 			ce.Name = "enqueue " + stageName(ev.Stage)
 			ce.Ph = "i"
@@ -183,9 +200,10 @@ func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
 type CritSegment struct {
 	Stage int `json:"stage"`
 	Node  int `json:"node"`
-	// Phase is "exec" (tasks running) or "queue" (tasks waiting for a
-	// worker) — a queue-dominated segment means the node's pool, not the
-	// storage path, was the bottleneck.
+	// Phase is "exec" (tasks running), "queue" (tasks waiting for a
+	// worker), or "rpc" (remote storage round trips in flight). A
+	// queue-dominated segment means the node's pool, not the storage path,
+	// was the bottleneck; an rpc-dominated segment means the wire was.
 	Phase string `json:"phase"`
 	// Start and End are ns offsets from job start; Span = End - Start.
 	Start int64 `json:"start"`
@@ -196,29 +214,44 @@ type CritSegment struct {
 	Tasks int `json:"tasks"`
 }
 
+// Sweep phases, in tie-break preference order: an rpc interval nests inside
+// its task's exec interval, so at equal counts the more specific attribution
+// (the wire) wins; exec beats queue as before.
+const (
+	phaseRPC uint8 = iota
+	phaseExec
+	phaseQueue
+)
+
 // critKey identifies one attribution group of the sweep.
 type critKey struct {
 	stage int
 	node  int
-	queue bool
+	ph    uint8
 }
 
 func (k critKey) phase() string {
-	if k.queue {
+	switch k.ph {
+	case phaseRPC:
+		return "rpc"
+	case phaseQueue:
 		return "queue"
+	default:
+		return "exec"
 	}
-	return "exec"
 }
 
 // CriticalPath extracts the top-k longest-pole segments from a job's event
 // log. Each completed task contributes an execution interval [TS, TS+Dur)
 // attributed to (stage, node, exec) and, when it waited, a queue interval
-// [TS-Wait, TS) attributed to (stage, node, queue). The extractor sweeps
-// the job's timeline; every instant is attributed to the group with the
-// most concurrently active intervals (ties prefer exec over queue, then
-// lower stage, then lower node), adjacent instants with the same winner
-// merge into segments, and the k longest segments are returned, longest
-// first. Idle gaps (no active interval) separate segments.
+// [TS-Wait, TS) attributed to (stage, node, queue); each completed remote
+// round trip contributes [TS, TS+Dur) attributed to (stage, node, rpc).
+// The extractor sweeps the job's timeline; every instant is attributed to
+// the group with the most concurrently active intervals (ties prefer rpc
+// over exec over queue, then lower stage, then lower node), adjacent
+// instants with the same winner merge into segments, and the k longest
+// segments are returned, longest first. Idle gaps (no active interval)
+// separate segments.
 func CriticalPath(events []Event, k int) []CritSegment {
 	type point struct {
 		t     int64
@@ -227,16 +260,21 @@ func CriticalPath(events []Event, k int) []CritSegment {
 	}
 	var pts []point
 	for _, ev := range events {
-		if ev.Kind != EvTask {
-			continue
-		}
-		if ev.Dur > 0 {
-			key := critKey{stage: ev.Stage, node: ev.Node}
-			pts = append(pts, point{t: ev.TS, key: key, delta: +1}, point{t: ev.TS + ev.Dur, key: key, delta: -1})
-		}
-		if ev.Wait > 0 {
-			key := critKey{stage: ev.Stage, node: ev.Node, queue: true}
-			pts = append(pts, point{t: ev.TS - ev.Wait, key: key, delta: +1}, point{t: ev.TS, key: key, delta: -1})
+		switch ev.Kind {
+		case EvTask:
+			if ev.Dur > 0 {
+				key := critKey{stage: ev.Stage, node: ev.Node, ph: phaseExec}
+				pts = append(pts, point{t: ev.TS, key: key, delta: +1}, point{t: ev.TS + ev.Dur, key: key, delta: -1})
+			}
+			if ev.Wait > 0 {
+				key := critKey{stage: ev.Stage, node: ev.Node, ph: phaseQueue}
+				pts = append(pts, point{t: ev.TS - ev.Wait, key: key, delta: +1}, point{t: ev.TS, key: key, delta: -1})
+			}
+		case EvRPC:
+			if ev.Dur > 0 {
+				key := critKey{stage: ev.Stage, node: ev.Node, ph: phaseRPC}
+				pts = append(pts, point{t: ev.TS, key: key, delta: +1}, point{t: ev.TS + ev.Dur, key: key, delta: -1})
+			}
 		}
 	}
 	if len(pts) == 0 || k <= 0 {
@@ -246,8 +284,8 @@ func CriticalPath(events []Event, k int) []CritSegment {
 
 	// prefer reports whether a beats b as the slice winner at equal counts.
 	prefer := func(a, b critKey) bool {
-		if a.queue != b.queue {
-			return !a.queue
+		if a.ph != b.ph {
+			return a.ph < b.ph
 		}
 		if a.stage != b.stage {
 			return a.stage < b.stage

@@ -1,0 +1,48 @@
+package trace
+
+import "context"
+
+// RPCInfo is the trace context a remote storage admission carries across the
+// nodenet wire: which job caused the work, on behalf of which tenant, from
+// which stage, and on which retry attempt. The executor stamps it onto each
+// dereference task's context; the nodenet client copies it into the request
+// frame so the node can attribute its own spans to the originating job.
+type RPCInfo struct {
+	// Job is the originating job's name. A zero Job means "no trace
+	// context": untraced callers (loaders, tools) never stamp one.
+	Job string
+	// Tenant is the principal the job runs on behalf of (may be empty).
+	Tenant string
+	// Stage is the job stage issuing the access (>= 0 when stamped).
+	Stage int
+	// Attempt is the retry ordinal of the dereference driving this access:
+	// 0 for the first try, incremented per executor retry.
+	Attempt int
+}
+
+// rpcKey carries an RPCInfo through a context.
+type rpcKey struct{}
+
+// WithRPC attaches the RPC trace context to ctx. The storage transports read
+// it back with RPCFrom to attribute remote work to (job, stage, tenant).
+func WithRPC(ctx context.Context, info RPCInfo) context.Context {
+	return context.WithValue(ctx, rpcKey{}, info)
+}
+
+// RPCFrom returns the RPC trace context attached to ctx; the zero RPCInfo
+// (Job == "") when the caller is untraced.
+func RPCFrom(ctx context.Context) RPCInfo {
+	info, _ := ctx.Value(rpcKey{}).(RPCInfo)
+	return info
+}
+
+// WithRPCAttempt re-stamps ctx's RPC trace context with the given retry
+// attempt. A no-op returning ctx unchanged when no context is attached.
+func WithRPCAttempt(ctx context.Context, attempt int) context.Context {
+	info := RPCFrom(ctx)
+	if info.Job == "" {
+		return ctx
+	}
+	info.Attempt = attempt
+	return WithRPC(ctx, info)
+}

@@ -112,6 +112,11 @@ type NodeIO struct {
 	// node's workers record into the same lock-free buckets.
 	localLat  *Histogram
 	remoteLat *Histogram
+	// owner/node link back to the owning Trace (set by New) so remote
+	// round trips can land EvRPC events on the job's timeline. Standalone
+	// NodeIOs have a nil owner and drop RPC observations.
+	owner *Trace
+	node  int
 }
 
 // Observe records one storage access.
@@ -135,6 +140,20 @@ func (n *NodeIO) ObserveLatency(remote bool, d time.Duration) {
 	} else if n.localLat != nil {
 		n.localLat.RecordDur(d)
 	}
+}
+
+// ObserveRPC lands one completed remote round trip on the owning job's
+// timeline as an EvRPC interval attributed to (stage, node). A no-op for
+// standalone NodeIOs or when timeline capture is disabled.
+func (n *NodeIO) ObserveRPC(stage int, begin time.Time, d time.Duration) {
+	t := n.owner
+	if t == nil || t.ring == nil {
+		return
+	}
+	t.ring.Add(Event{
+		Kind: EvRPC, Stage: stage, Node: n.node,
+		TS: begin.Sub(t.start).Nanoseconds(), Dur: int64(d),
+	})
 }
 
 // ioKey carries a *NodeIO through a context.
@@ -167,6 +186,8 @@ func New(job string, stages []StageInfo, nodes int) *Trace {
 	for i := range t.nodes {
 		t.nodes[i].io.localLat = &t.lat.ioLocal
 		t.nodes[i].io.remoteLat = &t.lat.ioRemote
+		t.nodes[i].io.owner = t
+		t.nodes[i].io.node = i
 	}
 	return t
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # net-e2e.sh — end-to-end smoke of the networked data plane over loopback:
-# two lakenode processes, one lakeserve frontend wired to them with
-# -nodes host:port,host:port, a real query round-tripped over TCP, and the
-# lakeharbor_net_* transport metrics asserted in /debug/metrics.
+# two lakenode processes (with debug sidecars), one lakeserve frontend wired
+# to them with -nodes host:port,host:port and federating their sidecars with
+# -scrape, a real query round-tripped over TCP, the lakeharbor_net_* and
+# lakeharbor_cluster_* metrics asserted in /debug/metrics, a `lakectl top
+# -once` snapshot over both endpoints, and a SIGTERM drain check on node A
+# (/readyz flips to 503 before the process exits).
 #
 # Usage: scripts/net-e2e.sh  (from the repo root; exits non-zero on failure)
 set -euo pipefail
@@ -11,6 +14,8 @@ cd "$(dirname "$0")/.."
 
 PORT_A=${PORT_A:-7151}
 PORT_B=${PORT_B:-7152}
+DEBUG_A=${DEBUG_A:-7251}
+DEBUG_B=${DEBUG_B:-7252}
 API_PORT=${API_PORT:-8098}
 WORK=$(mktemp -d)
 PIDS=()
@@ -32,11 +37,13 @@ fail() {
 echo "net-e2e: building binaries"
 go build -o "$WORK/lakenode" ./cmd/lakenode
 go build -o "$WORK/lakeserve" ./cmd/lakeserve
+go build -o "$WORK/lakectl" ./cmd/lakectl
 
-echo "net-e2e: starting lakenodes on :$PORT_A :$PORT_B"
-"$WORK/lakenode" -addr "127.0.0.1:$PORT_A" -quiet &
-PIDS+=($!)
-"$WORK/lakenode" -addr "127.0.0.1:$PORT_B" -quiet &
+echo "net-e2e: starting lakenodes on :$PORT_A :$PORT_B (sidecars :$DEBUG_A :$DEBUG_B)"
+"$WORK/lakenode" -addr "127.0.0.1:$PORT_A" -debug "127.0.0.1:$DEBUG_A" -drain-linger 3s -quiet &
+NODE_A_PID=$!
+PIDS+=($NODE_A_PID)
+"$WORK/lakenode" -addr "127.0.0.1:$PORT_B" -debug "127.0.0.1:$DEBUG_B" -quiet &
 PIDS+=($!)
 
 # Wait until both nodes accept connections before pointing lakeserve at them.
@@ -50,9 +57,20 @@ for port in "$PORT_A" "$PORT_B"; do
     done
 done
 
-echo "net-e2e: starting lakeserve -nodes 127.0.0.1:$PORT_A,127.0.0.1:$PORT_B"
+echo "net-e2e: node sidecars answer healthz/readyz"
+for port in "$DEBUG_A" "$DEBUG_B"; do
+    dbg="http://127.0.0.1:$port"
+    curl -sf "$dbg/healthz" >/dev/null || fail "node :$port healthz not OK"
+    curl -sf "$dbg/readyz" >/dev/null || fail "node :$port readyz not OK while serving"
+    curl -sf "$dbg/debug/metrics" | grep -q 'lakeharbor_build_info{component="lakenode"' \
+        || fail "node :$port sidecar missing build info"
+done
+
+echo "net-e2e: starting lakeserve -nodes 127.0.0.1:$PORT_A,127.0.0.1:$PORT_B -scrape 127.0.0.1:$DEBUG_A,127.0.0.1:$DEBUG_B"
 "$WORK/lakeserve" -addr "127.0.0.1:$API_PORT" -kind claims -claims 500 \
-    -nodes "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" >"$WORK/lakeserve.log" 2>&1 &
+    -nodes "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" \
+    -scrape "127.0.0.1:$DEBUG_A,127.0.0.1:$DEBUG_B" -scrape-interval 500ms \
+    >"$WORK/lakeserve.log" 2>&1 &
 PIDS+=($!)
 
 api="http://127.0.0.1:$API_PORT"
@@ -91,5 +109,53 @@ for series in \
 done
 rpcs=$(echo "$metrics" | awk '$1 == "lakeharbor_net_rpcs_total" {print $2}')
 [ "${rpcs:-0}" -gt 0 ] || fail "lakeharbor_net_rpcs_total is $rpcs, want > 0"
+
+echo "net-e2e: federated cluster series visible in /debug/metrics"
+# Give the federator one fresh scrape after the queries above landed.
+sleep 1
+metrics=$(curl -sf "$api/debug/metrics")
+for series in \
+    lakeharbor_cluster_nodes \
+    lakeharbor_cluster_nodes_up \
+    lakeharbor_cluster_node_up \
+    lakeharbor_cluster_rpcs_total \
+    lakeharbor_cluster_rpc_seconds; do
+    echo "$metrics" | grep -q "^$series" || fail "metrics missing $series"
+done
+nodes_up=$(echo "$metrics" | awk '$1 == "lakeharbor_cluster_nodes_up" {print $2}')
+[ "${nodes_up:-0}" -eq 2 ] || fail "lakeharbor_cluster_nodes_up is $nodes_up, want 2"
+echo "$metrics" | grep -q "^lakeharbor_cluster_rpcs_total{node=\"127.0.0.1:$DEBUG_A\"}" \
+    || fail "per-node cluster series missing node label 127.0.0.1:$DEBUG_A"
+
+echo "net-e2e: lakectl top -once renders all three endpoints"
+top_out=$("$WORK/lakectl" top -once \
+    "127.0.0.1:$API_PORT" "127.0.0.1:$DEBUG_A" "127.0.0.1:$DEBUG_B") \
+    || fail "lakectl top -once failed"
+echo "$top_out" | grep -q "lakeserve" || fail "top missing lakeserve identity: $top_out"
+echo "$top_out" | grep -q "lakenode" || fail "top missing lakenode identity: $top_out"
+
+echo "net-e2e: SIGTERM drains node A (readyz flips 503 before exit)"
+kill -TERM "$NODE_A_PID"
+flipped=""
+for _ in $(seq 1 100); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DEBUG_A/readyz" || true)
+    if [ "$code" = "503" ]; then
+        flipped=yes
+        break
+    fi
+    if ! kill -0 "$NODE_A_PID" 2>/dev/null; then
+        break
+    fi
+    sleep 0.05
+done
+[ -n "$flipped" ] || fail "node A exited without /readyz reporting 503"
+# Liveness stays green while draining-but-alive.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DEBUG_A/healthz" || true)
+[ "$code" = "200" ] || [ "$code" = "000" ] || fail "healthz during drain returned $code"
+for _ in $(seq 1 100); do
+    kill -0 "$NODE_A_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$NODE_A_PID" 2>/dev/null && fail "node A still running after drain"
 
 echo "net-e2e: PASS ($rpcs RPCs served over the networked data plane)"
