@@ -8,7 +8,9 @@
 // chaos — SMPE against a lifecycle-managed rebuild of the scenario's index
 // — built in flight, then evicted and rebuilt on demand — SMPE against a
 // crash-recovered replica restored from a mid-workload checkpoint plus WAL
-// replay, and baseline scan), and exits non-zero on any divergence. Every
+// replay, SMPE with the job's interpreter, referencer, and filter mirrored
+// as sandboxed scripts — including an index rebuilt through scripted Spec
+// extractors — and baseline scan), and exits non-zero on any divergence. Every
 // failure prints a single seed that reproduces it; CI runs a short budget
 // with -seed $GITHUB_RUN_ID so each pipeline run explores fresh schedules
 // while staying reproducible from the logged seed.
@@ -21,8 +23,8 @@
 // Usage:
 //
 //	go run ./cmd/chaosbench [-seed 1] [-n 25] [-no-chaos] [-no-net]
-//	    [-no-tenants] [-no-lifecycle] [-no-restart] [-no-shrink] [-v]
-//	    [-timeline chaos-artifacts]
+//	    [-no-tenants] [-no-script] [-no-lifecycle] [-no-restart]
+//	    [-no-shrink] [-v] [-timeline chaos-artifacts]
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 		noChaos = flag.Bool("no-chaos", false, "skip the chaos arm (clean differential only)")
 		noNet   = flag.Bool("no-net", false, "skip the networked data-plane (smpe-net) arm")
 		noTen   = flag.Bool("no-tenants", false, "skip the multi-tenant scheduler (smpe-tenants) arm")
+		noScr   = flag.Bool("no-script", false, "skip the scripted access-method (smpe-script) arm")
 		noLifec = flag.Bool("no-lifecycle", false, "skip the structure-lifecycle arm")
 		noRest  = flag.Bool("no-restart", false, "skip the crash-recovery (smpe-restart) arm")
 		noShrnk = flag.Bool("no-shrink", false, "report chaos divergences without shrinking the schedule")
@@ -53,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Net: !*noNet, Tenants: !*noTen, Lifecycle: !*noLifec, Restart: !*noRest}
+	opts := oracle.Options{Chaos: !*noChaos, Shrink: !*noChaos && !*noShrnk, Net: !*noNet, Tenants: !*noTen, Script: !*noScr, Lifecycle: !*noLifec, Restart: !*noRest}
 	start := time.Now()
 	diverged := 0
 	var hedges, leaks int64

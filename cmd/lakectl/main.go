@@ -4,7 +4,9 @@
 // snapshot plus WAL tail plus structure registry — and optionally compact
 // it into a fresh checkpoint. `lakectl top` is the live ops view: it polls
 // one or more /debug/metrics endpoints (lakeserve, lakenode sidecars) and
-// renders tenants, nodes, and RPC latency quantiles in place.
+// renders tenants, nodes, and RPC latency quantiles in place. `lakectl
+// script` manages scripted access methods on a live lakeserve: upload
+// (validated and compiled at POST), list, fetch source, delete.
 //
 // Usage:
 //
@@ -15,6 +17,10 @@
 //	go run ./cmd/lakectl restore  -data DIR -kind tpch [-out compact.snap]
 //	go run ./cmd/lakectl restore  -in lake.snap [-wal wal.log] -kind claims
 //	go run ./cmd/lakectl top      [-once] [-interval 2s] localhost:8080 [127.0.0.1:7201 ...]
+//	go run ./cmd/lakectl script put -server localhost:8080 -name validx -file idx.lh
+//	go run ./cmd/lakectl script ls  -server localhost:8080
+//	go run ./cmd/lakectl script get -server localhost:8080 -name validx
+//	go run ./cmd/lakectl script rm  -server localhost:8080 -name validx
 package main
 
 import (
@@ -50,13 +56,15 @@ func main() {
 		cmdRestore(os.Args[2:])
 	case "top":
 		cmdTop(os.Args[2:])
+	case "script":
+		cmdScript(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl {snapshot|inspect|verify|restore|top} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl {snapshot|inspect|verify|restore|top|script} [flags]")
 	os.Exit(2)
 }
 

@@ -24,6 +24,15 @@
 // ones are evicted; re-building is a POST away). Snapshot restores carry no
 // structure registry, so those servers run without lifecycle endpoints.
 //
+// Every lakeserve accepts post-hoc scripted access methods: POST
+// /v1/scripts registers a sandboxed script (compiled and validated at
+// POST), and POST /v1/structures builds a structure whose partition-key and
+// index-key extractors are script functions, managed by the same lifecycle
+// manager as compiled structures. -script-steps and -script-alloc set the
+// per-invocation sandbox budgets. With -data, scripts and their structure
+// bindings ride the checkpoint as source text: recovery re-compiles them
+// and re-adopts their structures without rebuilding.
+//
 // With -data DIR the server is durable: on boot it recovers from
 // DIR/snap.lake + DIR/wal.log when they exist (structures come back ready
 // without rebuilding, recovery stats land in /debug/metrics), otherwise it
@@ -94,6 +103,7 @@ import (
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/nodenet"
 	"lakeharbor/internal/sched"
+	"lakeharbor/internal/script"
 	"lakeharbor/internal/store"
 	"lakeharbor/internal/tpch"
 )
@@ -116,6 +126,8 @@ func main() {
 		scrape   = flag.String("scrape", "", "comma-separated lakenode debug addresses (host:port,...) to federate into /debug/metrics as lakeharbor_cluster_* series")
 		scrapeIv = flag.Duration("scrape-interval", 2*time.Second, "node scrape interval with -scrape")
 		enablePP = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		scrSteps = flag.Int64("script-steps", script.DefaultSteps, "per-invocation step budget for registered scripts")
+		scrAlloc = flag.Int64("script-alloc", script.DefaultAllocBytes, "per-invocation allocation budget in bytes for registered scripts")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -132,6 +144,11 @@ func main() {
 		}
 		fmt.Printf("networked data plane: %s\n", *nodes)
 	}
+
+	// The script registry is always live: POST /v1/scripts works on every
+	// lakeserve, durable or not. The budgets are server policy, not script
+	// data, so they come from flags rather than the snapshot.
+	scriptReg := script.NewRegistry(script.Limits{Steps: *scrSteps, AllocBytes: *scrAlloc})
 
 	var pers *persistence
 	if *dataDir != "" {
@@ -171,10 +188,30 @@ func main() {
 					log.Fatalf("recover: wal replay: %v", err)
 				}
 			}
-			// Specs are re-registered from code (extractor functions cannot
-			// be serialized); Recover then matches the checkpointed registry
-			// entries by name and adopts the restored structures.
+			// Compiled specs are re-registered from code (their extractor
+			// functions cannot be serialized); scripted specs come back from
+			// the snapshot itself — sources re-compile into the registry and
+			// bindings re-resolve into Specs. Recover then matches the
+			// checkpointed registry entries by name and adopts the restored
+			// structures, scripted and compiled alike, without rebuilding.
 			mgr = managerFor(ctx, cluster, *kind, mopts)
+			for _, pe := range meta.Scripts {
+				if _, err := scriptReg.Put(pe.Name, pe.Source); err != nil {
+					log.Fatalf("recover: script %q: %v", pe.Name, err)
+				}
+			}
+			if len(meta.ScriptSpecs) > 0 && mgr == nil {
+				mgr = indexer.NewManager(ctx, cluster, mopts)
+			}
+			for _, b := range meta.ScriptSpecs {
+				spec, err := scriptReg.Bind(b)
+				if err != nil {
+					log.Fatalf("recover: script binding %q: %v", b.Structure, err)
+				}
+				if err := mgr.Register(spec); err != nil {
+					log.Fatalf("recover: script structure %q: %v", b.Structure, err)
+				}
+			}
 			var stats indexer.RecoverStats
 			if mgr != nil {
 				stats = mgr.Recover(meta.Structures)
@@ -189,9 +226,9 @@ func main() {
 				CatalogVersion:    meta.CatalogVersion,
 				Duration:          time.Since(start),
 			}
-			fmt.Printf("recovered %s: %d files, %d WAL records, %d structures ready / %d evicted (catalog v%d) in %v\n",
-				*dataDir, snapFiles, applied, stats.Recovered, stats.Evicted, meta.CatalogVersion,
-				recInfo.Duration.Round(time.Millisecond))
+			fmt.Printf("recovered %s: %d files, %d WAL records, %d structures ready / %d evicted, %d scripts (catalog v%d) in %v\n",
+				*dataDir, snapFiles, applied, stats.Recovered, stats.Evicted, len(meta.Scripts),
+				meta.CatalogVersion, recInfo.Duration.Round(time.Millisecond))
 		}
 	}
 	if !recovered {
@@ -246,6 +283,7 @@ func main() {
 	if mgr != nil {
 		api.AttachStructures(mgr)
 	}
+	api.AttachScripts(scriptReg)
 	if netStats != nil {
 		api.AttachExtraMetrics(netStats.WriteMetrics)
 	}
@@ -265,6 +303,7 @@ func main() {
 		}
 		pers.wal = wal
 		pers.mgr = mgr
+		pers.scripts = scriptReg
 		pers.svc = catalog.Attach(cluster, wal)
 		// Rebuild-cost modeling now reads transactional catalog snapshots
 		// instead of racing the live catalog.
@@ -409,6 +448,7 @@ type persistence struct {
 	cluster *dfs.Cluster
 	wal     *store.WAL
 	mgr     *indexer.Manager
+	scripts *script.Registry
 	svc     *catalog.Service
 	trigger chan struct{}
 
@@ -429,14 +469,19 @@ func (p *persistence) logIngest(file string, partKey lake.Key, rec lake.Record) 
 	return p.wal.Sync()
 }
 
-// checkpoint writes an atomic v2 snapshot (files + catalog version +
-// structure registry) and truncates the WAL under the same lock.
+// checkpoint writes an atomic v3 snapshot (files + catalog version +
+// structure registry + scripts and their bindings) and truncates the WAL
+// under the same lock.
 func (p *persistence) checkpoint(ctx context.Context) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	meta := &store.SnapshotMeta{CatalogVersion: p.cluster.CatalogVersion()}
 	if p.mgr != nil {
 		meta.Structures = p.mgr.PersistEntries()
+	}
+	if p.scripts != nil {
+		meta.Scripts = p.scripts.PersistScripts()
+		meta.ScriptSpecs = p.scripts.Bindings()
 	}
 	if err := store.CheckpointToPath(ctx, p.cluster, meta, p.snapPath()); err != nil {
 		return err

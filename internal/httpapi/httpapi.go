@@ -29,6 +29,7 @@ import (
 	"lakeharbor/internal/keycodec"
 	"lakeharbor/internal/lake"
 	"lakeharbor/internal/sched"
+	"lakeharbor/internal/script"
 	"lakeharbor/internal/trace"
 )
 
@@ -38,6 +39,7 @@ type Server struct {
 	mux        *http.ServeMux
 	traces     *trace.Registry
 	structures *indexer.Manager  // nil until AttachStructures
+	scripts    *script.Registry  // nil until AttachScripts
 	catalog    *catalog.Service  // nil until AttachCatalog
 	recovery   *RecoveryInfo     // nil until AttachRecovery
 	ingestHook IngestHook        // nil unless SetIngestHook
@@ -72,8 +74,13 @@ func New(cluster *dfs.Cluster) *Server {
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/jobs/range", s.handleJobRange)
 	s.mux.HandleFunc("GET /v1/structures", s.handleStructures)
+	s.mux.HandleFunc("POST /v1/structures", s.handleStructureCreate)
 	s.mux.HandleFunc("POST /v1/structures/{name}/build", s.handleStructureBuild)
 	s.mux.HandleFunc("POST /v1/structures/{name}/evict", s.handleStructureEvict)
+	s.mux.HandleFunc("POST /v1/scripts", s.handleScriptPut)
+	s.mux.HandleFunc("GET /v1/scripts", s.handleScriptList)
+	s.mux.HandleFunc("GET /v1/scripts/{name}", s.handleScriptGet)
+	s.mux.HandleFunc("DELETE /v1/scripts/{name}", s.handleScriptDelete)
 	s.mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	s.mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
 	s.mux.HandleFunc("GET /debug/jobs/{id}/timeline", s.handleDebugJobTimeline)

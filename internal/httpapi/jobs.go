@@ -246,6 +246,7 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeLifecycleMetrics(&buf)
 	s.writePersistenceMetrics(&buf)
+	s.writeScriptMetrics(&buf)
 	for _, fn := range s.extra {
 		fn(&buf)
 	}

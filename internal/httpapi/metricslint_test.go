@@ -1,7 +1,7 @@
 package httpapi
 
 // Metrics lint: every lakeharbor_* series a fully-attached deployment can
-// export — lakeserve with scheduler, structures, catalog, recovery,
+// export — lakeserve with scheduler, structures, scripts, catalog, recovery,
 // transport stats, and federation attached, plus a lakenode debug sidecar —
 // must be documented by name in README.md. This keeps the metrics reference
 // honest: adding a series without documenting it fails CI.
@@ -26,6 +26,7 @@ import (
 	"lakeharbor/internal/nodenet"
 	"lakeharbor/internal/promtext"
 	"lakeharbor/internal/sched"
+	"lakeharbor/internal/script"
 	"lakeharbor/internal/store"
 )
 
@@ -100,6 +101,11 @@ func TestMetricsNamesDocumented(t *testing.T) {
 	}
 	api.AttachCatalog(catalog.Attach(cluster, wal))
 	api.AttachRecovery(RecoveryInfo{Recovered: true})
+	reg := script.NewRegistry(script.Limits{})
+	if _, err := reg.Put("probe", `fn keep(key, data) { return true }`); err != nil {
+		t.Fatal(err)
+	}
+	api.AttachScripts(reg)
 	api.AttachExtraMetrics(netStats.WriteMetrics)
 	federator := fed.New([]string{dbg.URL}, fed.Options{})
 	if err := federator.ScrapeOnce(ctx); err != nil {

@@ -1,0 +1,168 @@
+package httpapi
+
+// This file surfaces the script registry over HTTP — post-hoc access
+// methods a client can register against a live server:
+//
+//	POST   /v1/scripts          compile-and-register a script (validate at POST)
+//	GET    /v1/scripts          list registered scripts
+//	GET    /v1/scripts/{name}   one script's info plus its source
+//	DELETE /v1/scripts/{name}   drop a script (and its structure bindings)
+//	POST   /v1/structures       register + build a structure whose partition-key
+//	                            and index-key extractors are script functions
+//
+// The endpoints answer 404 until a registry is attached with AttachScripts
+// (POST /v1/structures additionally needs AttachStructures); the
+// lakeharbor_script_* counters join /debug/metrics then.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lakeharbor/internal/obs"
+	"lakeharbor/internal/script"
+)
+
+// AttachScripts connects a script registry to the server, enabling the
+// /v1/scripts endpoints, scripted POST /v1/structures, and the script
+// counters in /debug/metrics.
+func (s *Server) AttachScripts(reg *script.Registry) { s.scripts = reg }
+
+// registry resolves the attached script registry, writing the error
+// response itself when it returns nil.
+func (s *Server) registry(w http.ResponseWriter) *script.Registry {
+	if s.scripts == nil {
+		writeError(w, http.StatusNotFound, errors.New("httpapi: no script registry attached"))
+		return nil
+	}
+	return s.scripts
+}
+
+// ScriptPutRequest is the wire form of POST /v1/scripts.
+type ScriptPutRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+func (s *Server) handleScriptPut(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry(w)
+	if reg == nil {
+		return
+	}
+	var req ScriptPutRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad body: %w", err))
+		return
+	}
+	h, err := reg.Put(req.Name, req.Source)
+	if err != nil {
+		// Validate-at-POST: a script that does not compile never enters the
+		// registry, and the compile error goes back to the client verbatim.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, script.Info{
+		Name:        h.Name,
+		Version:     h.Version,
+		Funcs:       h.Program().Funcs(),
+		SourceBytes: len(h.Program().Source()),
+	})
+}
+
+func (s *Server) handleScriptList(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry(w)
+	if reg == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scripts": reg.List()})
+}
+
+func (s *Server) handleScriptGet(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry(w)
+	if reg == nil {
+		return
+	}
+	name := r.PathValue("name")
+	h, ok := reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("httpapi: no script %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    h.Name,
+		"version": h.Version,
+		"funcs":   h.Program().Funcs(),
+		"source":  h.Program().Source(),
+	})
+}
+
+func (s *Server) handleScriptDelete(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry(w)
+	if reg == nil {
+		return
+	}
+	name := r.PathValue("name")
+	if !reg.Delete(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("httpapi: no script %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "status": "deleted"})
+}
+
+// handleStructureCreate registers a structure whose access method is a
+// script: the binding resolves against the registry (capturing the current
+// compiled program — later re-POSTs of the script do not affect it), the
+// spec enters the lifecycle manager, and a background build starts.
+func (s *Server) handleStructureCreate(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry(w)
+	if reg == nil {
+		return
+	}
+	m := s.manager(w)
+	if m == nil {
+		return
+	}
+	var b script.SpecBinding
+	if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad body: %w", err))
+		return
+	}
+	spec, err := reg.Bind(b)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := m.Register(spec); err != nil {
+		reg.Unbind(b.Structure)
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	state, err := m.Build(spec.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"name":   spec.Name,
+		"script": b.Script,
+		"state":  state.String(),
+	})
+}
+
+// writeScriptMetrics appends the script counters to /debug/metrics when a
+// registry is attached.
+func (s *Server) writeScriptMetrics(w io.Writer) {
+	if s.scripts == nil {
+		return
+	}
+	c := script.Counters()
+	obs.Counter(w, "lakeharbor_script_compiles_total", "Script sources compiled (POSTs and recoveries).", c.Compiles)
+	obs.Counter(w, "lakeharbor_script_compile_errors_total", "Script sources rejected at compile time.", c.CompileErrors)
+	obs.Counter(w, "lakeharbor_script_invocations_total", "Scripted function invocations across all contracts.", c.Invocations)
+	obs.Counter(w, "lakeharbor_script_step_budget_trips_total", "Invocations terminated by the step budget.", c.StepTrips)
+	obs.Counter(w, "lakeharbor_script_alloc_budget_trips_total", "Invocations terminated by the allocation budget.", c.AllocTrips)
+	obs.Gauge(w, "lakeharbor_script_registered", "Scripts currently registered.", int64(s.scripts.Len()))
+	obs.Gauge(w, "lakeharbor_script_bindings", "Structure bindings currently resolved from scripts.", int64(len(s.scripts.Bindings())))
+}

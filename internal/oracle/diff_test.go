@@ -15,10 +15,10 @@ var (
 )
 
 // TestDifferential is the acceptance gate: every seed's scenario must agree
-// across all eight arms — clean batched, clean unbatched, chaos, networked
-// data plane, multi-tenant mix, lifecycle, crash-recovery restart, baseline
-// — with zero row-set or invariant divergence. A failing seed prints a
-// self-contained repro line.
+// across all nine arms — clean batched, clean unbatched, chaos, networked
+// data plane, multi-tenant mix, scripted access methods, lifecycle,
+// crash-recovery restart, baseline — with zero row-set or invariant
+// divergence. A failing seed prints a self-contained repro line.
 func TestDifferential(t *testing.T) {
 	ctx := context.Background()
 	n := *nFlag
@@ -30,7 +30,7 @@ func TestDifferential(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		seed := *seedFlag + int64(i)
-		rep, err := Run(ctx, seed, Options{Chaos: true, Shrink: true, Lifecycle: true, Restart: true, Net: true, Tenants: true})
+		rep, err := Run(ctx, seed, Options{Chaos: true, Shrink: true, Lifecycle: true, Restart: true, Net: true, Tenants: true, Script: true})
 		if err != nil {
 			t.Fatalf("seed %d: oracle harness failed: %v", seed, err)
 		}

@@ -60,6 +60,11 @@ type scenario struct {
 	// index and rebuild it through a lifecycle Manager without changing the
 	// job's seeds or answer. Nil for forms without an index.
 	lcSpec *indexer.Spec
+	// lo, hi are the val bounds of the range forms and broadcast marks the
+	// join form's broadcast variant — the script arm mirrors the job's
+	// compiled functions as script source from them.
+	lo, hi    int
+	broadcast bool
 }
 
 // rowKey is the multiset identity of one result record.
@@ -323,6 +328,7 @@ func buildLocalIndexRange(sc *scenario, rng *rand.Rand, in buildIn) error {
 	}
 	sc.lcSpec = lifecycleSpec(indexer.Local, in.parts, in.base.Partitioner())
 	lo, hi := valRange(rng, in.valDomain)
+	sc.lo, sc.hi = lo, hi
 	seeds := []lake.Pointer{{File: idxFile, NoPart: true, Key: keycodec.Int64(int64(lo)), EndKey: keycodec.Int64(int64(hi))}}
 	job, err := core.NewJob("local-range", seeds,
 		core.RangeDeref{File: idxFile},
@@ -356,6 +362,7 @@ func buildGlobalIndexRange(sc *scenario, rng *rand.Rand, in buildIn) error {
 	}
 	sc.lcSpec = lifecycleSpec(indexer.Global, idxParts, idxPart)
 	lo, hi := valRange(rng, in.valDomain)
+	sc.lo, sc.hi = lo, hi
 	seeds, err := core.SeedRange(sc.cluster, idxFile, keycodec.Int64(int64(lo)), keycodec.Int64(int64(hi)))
 	if err != nil {
 		return err
@@ -406,6 +413,7 @@ func buildBroadcastableJoin(sc *scenario, rng *rand.Rand, in buildIn) error {
 		seeds = append(seeds, lake.Pointer{File: baseFile, PartKey: k, Key: k})
 	}
 	broadcast := rng.Float64() < 0.3
+	sc.broadcast = broadcast
 	job, err := core.NewJob("join", seeds,
 		core.LookupDeref{File: baseFile},
 		core.FieldRef{

@@ -61,6 +61,13 @@ type Options struct {
 	// with admission (over-quota rejection), no-starvation, weighted-share,
 	// and drained-accounting invariants on top.
 	Tenants bool
+	// Script enables the ninth arm: the scenario's compiled interpreter,
+	// referencer, and filter are mirrored as script source, the job re-runs
+	// with the scripted functions in their place, and rows, per-stage emits,
+	// and every trace invariant must agree (scripted ≡ compiled). For
+	// index-bearing forms the arm also rebuilds the index through scripted
+	// Spec extractors and probes the scripted structure.
+	Script bool
 }
 
 // Report is the outcome of one seeded differential run.
@@ -194,6 +201,17 @@ func Run(ctx context.Context, seed int64, opts Options) (*Report, error) {
 		}
 		res, fails := runTenantsArm(ctx, sc, opts.Profile, singleEmits)
 		note("smpe-tenants", res, fails)
+	}
+	if opts.Script {
+		// The script arm reads the scenario cluster and builds/drops only its
+		// own scratch index, but it compares against the hand-built index, so
+		// it runs before the mutating lifecycle/restart arms.
+		var singleEmits []int64
+		if errA == nil {
+			singleEmits = resA.StageEmits
+		}
+		res, fails := runScriptArm(ctx, sc, singleEmits)
+		note("smpe-script", res, fails)
 	}
 	if opts.Lifecycle {
 		// Late arm: it mutates the scenario's index (drop + managed rebuild

@@ -1,0 +1,88 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestScriptArmMatchesCompiled is the scripted ≡ compiled acceptance sweep:
+// across 30 seeds every scenario's mirror script must compile, run to the
+// oracle answer with per-stage emits identical to the compiled job, and —
+// for index-bearing forms — the scripted-built index must answer the probe
+// too. Only the script arm runs, so a failure here is unambiguous.
+func TestScriptArmMatchesCompiled(t *testing.T) {
+	ctx := context.Background()
+	n := int64(30)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		rep, err := Run(ctx, seed, Options{Script: true})
+		if err != nil {
+			t.Fatalf("seed %d: oracle harness failed: %v", seed, err)
+		}
+		if rep.Diverged() {
+			t.Errorf("seed %d diverged:\n  %s\n%s",
+				seed, strings.Join(rep.Failures, "\n  "), rep.Repro())
+		}
+	}
+}
+
+// TestScriptArmCatchesInjectedBug is the vacuity check: a one-token
+// mutation in the generated mirror script — the filter's first `<=`
+// weakened to `<`, dropping boundary rows — must be reported by the script
+// arm as a divergence. A differential arm that cannot see an off-by-one in
+// the script it runs would prove nothing.
+func TestScriptArmCatchesInjectedBug(t *testing.T) {
+	scriptMutate = func(src string) string {
+		i := strings.Index(src, "<=")
+		if i < 0 {
+			t.Fatalf("mirror source has no <= to mutate:\n%s", src)
+		}
+		return src[:i] + "<" + src[i+2:]
+	}
+	t.Cleanup(func() { scriptMutate = nil })
+
+	ctx := context.Background()
+	caught := 0
+	for seed := int64(1); seed <= 40 && caught == 0; seed++ {
+		rep, err := Run(ctx, seed, Options{Script: true})
+		if err != nil {
+			t.Fatalf("seed %d: oracle harness failed: %v", seed, err)
+		}
+		if !rep.Diverged() {
+			continue // this seed's answer has no boundary row; try the next
+		}
+		caught++
+		if rep.DivergedArm != "smpe-script" {
+			t.Errorf("seed %d: diverged arm = %q, want smpe-script", seed, rep.DivergedArm)
+		}
+		for _, f := range rep.Failures {
+			if !strings.HasPrefix(f, "smpe-script") {
+				t.Errorf("seed %d: a compiled arm reported %q under a script-only mutation", seed, f)
+			}
+		}
+		t.Logf("injected script bug caught at seed %d:\n  %s", seed, strings.Join(rep.Failures, "\n  "))
+	}
+	if caught == 0 {
+		t.Fatal("40 seeds ran with the <= mutation planted and the script arm caught nothing")
+	}
+}
+
+// TestScriptCorpusCoversForms pins the fuzz seed corpus: it must contain
+// mirror programs for every mirrorable function shape — filter-only
+// (point/join keep), entry-ref, field-ref with routed and broadcast emits,
+// and the index extractors.
+func TestScriptCorpusCoversForms(t *testing.T) {
+	corpus := ScriptCorpus()
+	if len(corpus) < 3 {
+		t.Fatalf("corpus holds %d distinct programs, want >= 3", len(corpus))
+	}
+	joined := strings.Join(corpus, "\n")
+	for _, want := range []string{"fn keep", "fn ref", "fn partkey", "fn keys", "indexpart", "carry()"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("corpus never exercises %q", want)
+		}
+	}
+}

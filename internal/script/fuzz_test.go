@@ -1,0 +1,121 @@
+package script_test
+
+// Fuzz targets for the whole interpreter pipeline. Three properties, none
+// of which any input may break:
+//
+//  1. No panics: lexer, parser, printer, and evaluator only ever return
+//     typed errors, whatever bytes arrive.
+//  2. Termination: with a step budget set, every call returns — loops
+//     cannot outlive their budget.
+//  3. Canonical stability: Compile ∘ Canonical is a fixed point — printing
+//     a compiled program and recompiling the print yields the same print.
+//
+// The seed corpus is the oracle's generated mirror programs (the exact
+// sources the differential arm runs) plus hand-picked grammar edges.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/oracle"
+	"lakeharbor/internal/script"
+)
+
+// fuzzHost satisfies every contract builtin the oracle's mirror programs
+// call, so fuzzed evaluation reaches loop bodies instead of stopping at
+// "unknown function".
+func fuzzHost() map[string]script.Builtin {
+	ok := func(args []script.Value) (script.Value, error) { return script.Int(0), nil }
+	host := map[string]script.Builtin{}
+	for _, name := range []string{"set", "emit", "emitbroadcast", "emitrange", "carry", "carrycomposite"} {
+		host[name] = ok
+	}
+	return host
+}
+
+func FuzzScript(f *testing.F) {
+	for _, src := range oracle.ScriptCorpus() {
+		f.Add(src)
+	}
+	for _, src := range []string{
+		`fn f(a) { return -a * 2 + 1 }`,
+		`fn f() { let s = "x" while len(s) < 100 { s = s + s } return s }`,
+		`fn f(a, b) { if a == b { return 1 } else { if a < b { return 2 } } return 3 }`,
+		`fn f() { return 1 && true }`,
+		`fn f() { return (1 + 2) * (3 - 4) / 5 % 6 }`,
+		`fn f() { return "a\"b\\c\nd\te" }`,
+		`fn f() { return 9223372036854775807 }`,
+		`fn loop() { while true { } }`,
+		`fn f(key, data) { return substr(data, find(data, "|"), len(data)) }`,
+		"fn f() { # comment\n\treturn 0\n}",
+	} {
+		f.Add(src)
+	}
+
+	lim := script.Limits{Steps: 5000, AllocBytes: 1 << 16}
+	host := fuzzHost()
+	args := []script.Value{
+		script.Str("7|3"), script.Str(""), script.Int(-1), script.Bool(true),
+		script.Str("x\x00y"), script.Int(42), script.Str("|"), script.Int(0),
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := script.Compile(src)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+
+		// Property 3: canonical form is a fixed point of Compile.
+		canon := p.Canonical()
+		p2, err := script.Compile(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not recompile: %v\nsource: %q\ncanonical: %q", err, src, canon)
+		}
+		if again := p2.Canonical(); again != canon {
+			t.Fatalf("canonical form is not stable:\nfirst:  %q\nsecond: %q", canon, again)
+		}
+
+		// Properties 1 and 2: call every declared function with every arity-
+		// matching argument window; each call must return (budget at worst),
+		// never hang, never panic.
+		for _, fn := range p.Funcs() {
+			n := p.Params(fn)
+			if n < 0 || n > len(args) {
+				continue
+			}
+			if _, err := p.Call(fn, lim, host, args[:n]...); err != nil {
+				var serr *script.Error
+				if !errors.As(err, &serr) {
+					t.Fatalf("call %s: untyped error %T: %v", fn, err, err)
+				}
+			}
+		}
+	})
+}
+
+// TestFuzzCorpusRunsClean sanity-checks the seed corpus outside fuzzing
+// mode: every oracle mirror program compiles, prints, and recompiles. This
+// keeps `go test` (no -fuzz flag) covering the corpus on every CI run.
+func TestFuzzCorpusRunsClean(t *testing.T) {
+	corpus := oracle.ScriptCorpus()
+	if len(corpus) == 0 {
+		t.Fatal("oracle returned an empty script corpus")
+	}
+	for _, src := range corpus {
+		p, err := script.Compile(src)
+		if err != nil {
+			t.Fatalf("mirror source does not compile: %v\n%s", err, src)
+		}
+		canon := p.Canonical()
+		p2, err := script.Compile(canon)
+		if err != nil {
+			t.Fatalf("canonical mirror does not recompile: %v\n%s", err, canon)
+		}
+		if p2.Canonical() != canon {
+			t.Fatalf("canonical mirror is unstable:\n%s", canon)
+		}
+		if !strings.Contains(canon, "fn keep") {
+			t.Fatalf("mirror program lost its filter:\n%s", canon)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"lakeharbor/internal/indexer"
+)
+
+const regSrc = `fn partkey(key, data) { return key }
+fn keys(key, data) { emit(key) }`
+
+func TestRegistryPutGetDeleteList(t *testing.T) {
+	reg := NewRegistry(Limits{})
+	if _, err := reg.Put("a", "not a program"); err == nil {
+		t.Fatal("Put accepted a broken source")
+	}
+	if _, err := reg.Put("bad name!", regSrc); err == nil {
+		t.Fatal("Put accepted an invalid name")
+	}
+	h, err := reg.Put("a", regSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 1 {
+		t.Fatalf("first version = %d", h.Version)
+	}
+	// A failing re-Put leaves the existing version in place.
+	if _, err := reg.Put("a", "@@"); err == nil {
+		t.Fatal("re-Put accepted a broken source")
+	}
+	got, ok := reg.Get("a")
+	if !ok || got != h {
+		t.Fatal("failed re-Put replaced the handle")
+	}
+	if _, err := reg.Put("b", regSrc); err != nil {
+		t.Fatal(err)
+	}
+	infos := reg.List()
+	if len(infos) != 2 || infos[0].Name != "a" || infos[1].Name != "b" {
+		t.Fatalf("List = %+v", infos)
+	}
+	if len(infos[0].Funcs) != 2 || infos[0].Funcs[0] != "partkey" {
+		t.Fatalf("Funcs = %v", infos[0].Funcs)
+	}
+	if !reg.Delete("a") || reg.Delete("a") {
+		t.Fatal("Delete semantics broken")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+}
+
+func TestRegistryBindValidatesAtPost(t *testing.T) {
+	reg := NewRegistry(Limits{})
+	if _, err := reg.Put("s", regSrc); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    SpecBinding
+		want string
+	}{
+		{"missing-structure", SpecBinding{Base: "base", Script: "s", PartKeyFn: "partkey", KeysFn: "keys"}, "needs structure"},
+		{"bad-kind", SpecBinding{Structure: "i", Base: "base", Kind: "diagonal", Script: "s", PartKeyFn: "partkey", KeysFn: "keys"}, "want local or global"},
+		{"unknown-script", SpecBinding{Structure: "i", Base: "base", Script: "nope", PartKeyFn: "partkey", KeysFn: "keys"}, "no script"},
+		{"unknown-fn", SpecBinding{Structure: "i", Base: "base", Script: "s", PartKeyFn: "partkey", KeysFn: "missing"}, "declares no function"},
+		{"negative-partitions", SpecBinding{Structure: "i", Base: "base", Partitions: -1, Script: "s", PartKeyFn: "partkey", KeysFn: "keys"}, "partitions"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := reg.Bind(tc.b); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Bind error %v, want %q", err, tc.want)
+			}
+		})
+	}
+	if len(reg.Bindings()) != 0 {
+		t.Fatal("failed Binds were recorded")
+	}
+
+	spec, err := reg.Bind(SpecBinding{
+		Structure: "i", Base: "base", Kind: "global", Partitions: 3,
+		Script: "s", PartKeyFn: "partkey", KeysFn: "keys",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "i" || spec.Kind != indexer.Global || spec.Partitions != 3 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if bs := reg.Bindings(); len(bs) != 1 || bs[0].Structure != "i" {
+		t.Fatalf("Bindings = %+v", bs)
+	}
+}
+
+func TestDeleteDropsDependentBindings(t *testing.T) {
+	reg := NewRegistry(Limits{})
+	if _, err := reg.Put("s", regSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Bind(SpecBinding{Structure: "i", Base: "b", Script: "s", PartKeyFn: "partkey", KeysFn: "keys"}); err != nil {
+		t.Fatal(err)
+	}
+	reg.Delete("s")
+	if len(reg.Bindings()) != 0 {
+		t.Fatal("deleting a script kept its bindings")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	reg := NewRegistry(Limits{})
+	if _, err := reg.Put("s", regSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Bind(SpecBinding{Structure: "i", Base: "b", Script: "s", PartKeyFn: "partkey", KeysFn: "keys"}); err != nil {
+		t.Fatal(err)
+	}
+	scripts, bindings := reg.PersistScripts(), reg.Bindings()
+
+	// Boot path: a fresh registry re-Puts the sources and re-Binds.
+	fresh := NewRegistry(Limits{})
+	for _, pe := range scripts {
+		if _, err := fresh.Put(pe.Name, pe.Source); err != nil {
+			t.Fatalf("persisted source does not recompile: %v", err)
+		}
+	}
+	for _, b := range bindings {
+		if _, err := fresh.Bind(b); err != nil {
+			t.Fatalf("persisted binding does not rebind: %v", err)
+		}
+	}
+	if fresh.Len() != 1 || len(fresh.Bindings()) != 1 {
+		t.Fatal("recovered registry incomplete")
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	reg := NewRegistry(Limits{})
+	if _, err := reg.Put("s", regSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Bind(SpecBinding{Structure: "i", Base: "b", Script: "s", PartKeyFn: "partkey", KeysFn: "keys"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Unbind("i") || reg.Unbind("i") {
+		t.Fatal("Unbind semantics broken")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/keycodec"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/script"
 	"lakeharbor/internal/sim"
 )
 
@@ -34,6 +35,13 @@ func testMeta() *SnapshotMeta {
 				State: indexer.StateReady, SizeBytes: 12345, RebuildCost: 1.5e6, Builds: 3},
 			{Name: "idx_b", Base: "heap", Kind: indexer.Global,
 				State: indexer.StateEvicted, SizeBytes: 0, RebuildCost: 2.25e7, Builds: 7},
+		},
+		Scripts: []script.PersistEntry{
+			{Name: "validx", Source: "fn partkey(key, data) {\n\treturn key\n}\n\nfn keys(key, data) {\n\temit(key)\n}"},
+		},
+		ScriptSpecs: []script.SpecBinding{
+			{Structure: "idx_a", Base: "tree", Kind: "local", Partitions: 4,
+				Script: "validx", PartKeyFn: "partkey", KeysFn: "keys"},
 		},
 	}
 }
@@ -92,6 +100,61 @@ func TestRestoreV1Snapshot(t *testing.T) {
 	}
 	if meta.CatalogVersion != 0 || len(meta.Structures) != 0 {
 		t.Fatalf("v1 meta must be zero, got %+v", meta)
+	}
+	clustersEqual(t, src, dst)
+}
+
+// writeV2Snapshot emits the LAKEHB2 stream: catalog version + files +
+// structure registry, no script sections, same trailing CRC.
+func writeV2Snapshot(t *testing.T, cluster *dfs.Cluster, meta *SnapshotMeta) []byte {
+	t.Helper()
+	ctx := context.Background()
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagicV2)
+	var body bytes.Buffer
+	if err := writeU64(&body, meta.CatalogVersion); err != nil {
+		t.Fatal(err)
+	}
+	names := cluster.FileNames()
+	if err := writeU32(&body, uint32(len(names))); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if err := snapshotFile(ctx, cluster, name, &body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writeU32(&body, uint32(len(meta.Structures))); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range meta.Structures {
+		if err := writeStructureEntry(&body, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Write(body.Bytes())
+	if err := writeU32(&buf, crc32.ChecksumIEEE(body.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRestoreV2Snapshot(t *testing.T) {
+	ctx := context.Background()
+	src := buildCluster(t)
+	want := testMeta()
+	want.Scripts, want.ScriptSpecs = nil, nil
+	raw := writeV2Snapshot(t, src, want)
+	dst := dfs.NewCluster(dfs.Config{Nodes: 2})
+	meta, err := ReadSnapshot(ctx, bytes.NewReader(raw), dst)
+	if err != nil {
+		t.Fatalf("v2 snapshot must stay readable: %v", err)
+	}
+	if !reflect.DeepEqual(meta, want) {
+		t.Fatalf("v2 meta:\n got %+v\nwant %+v", meta, want)
+	}
+	if len(meta.Scripts) != 0 || len(meta.ScriptSpecs) != 0 {
+		t.Fatalf("v2 snapshot produced script sections: %+v", meta)
 	}
 	clustersEqual(t, src, dst)
 }

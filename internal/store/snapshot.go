@@ -2,11 +2,11 @@
 // layer for LakeHarbor workloads: durable on-disk snapshots of a cluster's
 // files and a write-ahead log for the raw ingest stream between snapshots.
 //
-// The snapshot format is a single self-describing stream. Format v2
-// ("LAKEHB2") is the current writer; v1 ("LAKEHB1") snapshots remain
-// readable:
+// The snapshot format is a single self-describing stream. Format v3
+// ("LAKEHB3") is the current writer; v1 ("LAKEHB1") and v2 ("LAKEHB2")
+// snapshots remain readable:
 //
-//	magic "LAKEHB2\n"
+//	magic "LAKEHB3\n"
 //	uint64 catalog version
 //	uint32 file count
 //	per file (sorted by name):
@@ -27,9 +27,25 @@
 //	  uint64  modeled size bytes
 //	  uint64  rebuild cost    (math.Float64bits)
 //	  uint64  completed builds
+//	uint32 script count
+//	per script (sorted by name):
+//	  string  name
+//	  string  source
+//	uint32 script binding count
+//	per binding (sorted by structure):
+//	  string  structure
+//	  string  base
+//	  string  kind            ("local", "global", or "")
+//	  uint32  partitions
+//	  string  script
+//	  string  partition-key function
+//	  string  index-keys function
 //	uint32 CRC-32 (IEEE) of everything after the magic
 //
-// v1 has no catalog version and no structure registry section. Strings and
+// v1 has no catalog version and no structure registry section; v2 has no
+// script or binding sections. Scripts travel as source text — recovery
+// re-compiles them, so a snapshot is portable across interpreter versions
+// as long as the language stays backward compatible. Strings and
 // byte slices are uint32-length-prefixed; integers are little-endian. The
 // trailing checksum makes torn or corrupted snapshots detectable at restore
 // time; restore verifies it BEFORE any record reaches the live cluster, so
@@ -55,13 +71,15 @@ import (
 	"lakeharbor/internal/dfs"
 	"lakeharbor/internal/indexer"
 	"lakeharbor/internal/lake"
+	"lakeharbor/internal/script"
 )
 
 const (
 	snapshotMagicV1 = "LAKEHB1\n"
 	snapshotMagicV2 = "LAKEHB2\n"
+	snapshotMagicV3 = "LAKEHB3\n"
 	// snapshotMagic is the magic the writer emits.
-	snapshotMagic = snapshotMagicV2
+	snapshotMagic = snapshotMagicV3
 )
 
 const (
@@ -100,6 +118,13 @@ type SnapshotMeta struct {
 	// carry the lifecycle state (ready/evicted), modeled size, and rebuild
 	// cost that indexer.Manager.Recover re-installs on boot.
 	Structures []indexer.PersistEntry
+	// Scripts carries every registered script as source text; recovery
+	// re-Puts (and so re-compiles) them into a fresh registry.
+	Scripts []script.PersistEntry
+	// ScriptSpecs carries the script→structure bindings; recovery re-Binds
+	// them after the scripts so scripted structures re-adopt without a
+	// rebuild.
+	ScriptSpecs []script.SpecBinding
 }
 
 // Snapshot serializes every file of the cluster to w with an empty metadata
@@ -143,6 +168,29 @@ func WriteSnapshot(ctx context.Context, cluster *dfs.Cluster, meta *SnapshotMeta
 	for _, e := range entries {
 		if err := writeStructureEntry(out, e); err != nil {
 			return fmt.Errorf("store: snapshot structure %q: %w", e.Name, err)
+		}
+	}
+	scripts := append([]script.PersistEntry(nil), meta.Scripts...)
+	sort.Slice(scripts, func(i, j int) bool { return scripts[i].Name < scripts[j].Name })
+	if err := writeU32(out, uint32(len(scripts))); err != nil {
+		return err
+	}
+	for _, e := range scripts {
+		if err := writeString(out, e.Name); err != nil {
+			return err
+		}
+		if err := writeString(out, e.Source); err != nil {
+			return err
+		}
+	}
+	bindings := append([]script.SpecBinding(nil), meta.ScriptSpecs...)
+	sort.Slice(bindings, func(i, j int) bool { return bindings[i].Structure < bindings[j].Structure })
+	if err := writeU32(out, uint32(len(bindings))); err != nil {
+		return err
+	}
+	for _, b := range bindings {
+		if err := writeScriptBinding(out, b); err != nil {
+			return fmt.Errorf("store: snapshot binding %q: %w", b.Structure, err)
 		}
 	}
 	if err := writeU32(bw, sum.Sum32()); err != nil {
@@ -384,6 +432,50 @@ func readStructureEntry(r io.Reader) (indexer.PersistEntry, error) {
 	return e, nil
 }
 
+func writeScriptBinding(w io.Writer, b script.SpecBinding) error {
+	for _, s := range []string{b.Structure, b.Base, b.Kind} {
+		if err := writeString(w, s); err != nil {
+			return err
+		}
+	}
+	if b.Partitions < 0 {
+		return fmt.Errorf("negative partitions %d", b.Partitions)
+	}
+	if err := writeU32(w, uint32(b.Partitions)); err != nil {
+		return err
+	}
+	for _, s := range []string{b.Script, b.PartKeyFn, b.KeysFn} {
+		if err := writeString(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readScriptBinding(r io.Reader) (script.SpecBinding, error) {
+	var b script.SpecBinding
+	var err error
+	for _, dst := range []*string{&b.Structure, &b.Base, &b.Kind} {
+		if *dst, err = readString(r); err != nil {
+			return b, err
+		}
+	}
+	parts, err := readU32(r)
+	if err != nil {
+		return b, err
+	}
+	if parts > maxSaneParts {
+		return b, fmt.Errorf("absurd partition count %d", parts)
+	}
+	b.Partitions = int(parts)
+	for _, dst := range []*string{&b.Script, &b.PartKeyFn, &b.KeysFn} {
+		if *dst, err = readString(r); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
 // stagedFile is a fully-parsed snapshot file held in memory until the
 // trailing checksum verifies; only then does it touch the cluster.
 type stagedFile struct {
@@ -412,11 +504,14 @@ func ReadSnapshot(ctx context.Context, r io.Reader, cluster *dfs.Cluster) (*Snap
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("store: reading magic: %w", err)
 	}
-	var v2 bool
+	var version int
 	switch string(magic) {
+	case snapshotMagicV3:
+		version = 3
 	case snapshotMagicV2:
-		v2 = true
+		version = 2
 	case snapshotMagicV1:
+		version = 1
 	default:
 		return nil, fmt.Errorf("store: bad magic %q", magic)
 	}
@@ -424,7 +519,7 @@ func ReadSnapshot(ctx context.Context, r io.Reader, cluster *dfs.Cluster) (*Snap
 	tr := &teeByteReader{r: br, sum: sum}
 
 	meta := &SnapshotMeta{}
-	if v2 {
+	if version >= 2 {
 		v, err := readU64(tr)
 		if err != nil {
 			return nil, fmt.Errorf("store: reading catalog version: %w", err)
@@ -446,7 +541,7 @@ func ReadSnapshot(ctx context.Context, r io.Reader, cluster *dfs.Cluster) (*Snap
 		}
 		staged = append(staged, sf)
 	}
-	if v2 {
+	if version >= 2 {
 		nStructs, err := readU32(tr)
 		if err != nil {
 			return nil, fmt.Errorf("store: reading structure count: %w", err)
@@ -460,6 +555,39 @@ func ReadSnapshot(ctx context.Context, r io.Reader, cluster *dfs.Cluster) (*Snap
 				return nil, fmt.Errorf("store: restore structure %d: %w", i, err)
 			}
 			meta.Structures = append(meta.Structures, e)
+		}
+	}
+	if version >= 3 {
+		nScripts, err := readU32(tr)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading script count: %w", err)
+		}
+		if nScripts > maxSaneCount {
+			return nil, fmt.Errorf("store: absurd script count %d", nScripts)
+		}
+		for i := uint32(0); i < nScripts; i++ {
+			var e script.PersistEntry
+			if e.Name, err = readString(tr); err != nil {
+				return nil, fmt.Errorf("store: restore script %d: %w", i, err)
+			}
+			if e.Source, err = readString(tr); err != nil {
+				return nil, fmt.Errorf("store: restore script %d: %w", i, err)
+			}
+			meta.Scripts = append(meta.Scripts, e)
+		}
+		nBindings, err := readU32(tr)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading binding count: %w", err)
+		}
+		if nBindings > maxSaneCount {
+			return nil, fmt.Errorf("store: absurd binding count %d", nBindings)
+		}
+		for i := uint32(0); i < nBindings; i++ {
+			b, err := readScriptBinding(tr)
+			if err != nil {
+				return nil, fmt.Errorf("store: restore binding %d: %w", i, err)
+			}
+			meta.ScriptSpecs = append(meta.ScriptSpecs, b)
 		}
 	}
 	computed := sum.Sum32()
