@@ -129,18 +129,29 @@ func (s *Server) handleStructureCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad body: %w", err))
 		return
 	}
+	// Bind replaces any recorded binding for the structure, so capture the
+	// previous one first: if the manager refuses the spec, nothing from this
+	// request may survive — including the binding swap.
+	prev, hadPrev := reg.Binding(b.Structure)
 	spec, err := reg.Bind(b)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := m.Register(spec); err != nil {
-		reg.Unbind(b.Structure)
+		if hadPrev {
+			reg.RestoreBinding(prev)
+		} else {
+			reg.Unbind(b.Structure)
+		}
 		writeError(w, http.StatusConflict, err)
 		return
 	}
 	state, err := m.Build(spec.Name)
 	if err != nil {
+		// Register succeeded, so the spec and binding stay in place: the
+		// manager has no deregister, and a registered-but-unbuilt structure
+		// is a valid state — a later POST or Ensure retries the build.
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

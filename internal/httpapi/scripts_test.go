@@ -290,6 +290,63 @@ func TestScriptedStructureSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestStructureConflictRollsBackBinding: a POST /v1/structures the lifecycle
+// manager refuses must leave the recorded bindings exactly as they were —
+// the loser's binding must not replace the winner's (recovery would rebind
+// the structure to semantics that never registered) or linger when there was
+// no prior binding at all.
+func TestStructureConflictRollsBackBinding(t *testing.T) {
+	srv, reg, m, _ := scriptsServer(t)
+	ctx := context.Background()
+
+	if code := doJSON(t, "POST", srv.URL+"/v1/scripts", ScriptPutRequest{Name: "validx", Source: scriptSrc}, nil); code != 201 {
+		t.Fatalf("POST script: status %d", code)
+	}
+	orig := script.SpecBinding{
+		Structure: "orders_val_idx", Base: "orders", Kind: "global", Partitions: 4,
+		Script: "validx", PartKeyFn: "partkey", KeysFn: "keys",
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/structures", orig, nil); code != 202 {
+		t.Fatalf("POST structure: status %d", code)
+	}
+	if err := m.Ensure(ctx, "orders_val_idx"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same structure, different binding: re-registering a ready structure is
+	// refused, and the recorded binding must stay the original.
+	loser := orig
+	loser.Partitions = 2
+	if code := doJSON(t, "POST", srv.URL+"/v1/structures", loser, nil); code != 409 {
+		t.Fatalf("conflicting POST: status %d, want 409", code)
+	}
+	if got, ok := reg.Binding("orders_val_idx"); !ok || got != orig {
+		t.Fatalf("binding after conflict = %+v, %v; want the original %+v", got, ok, orig)
+	}
+
+	// A conflict on a structure that never had a binding (registered from a
+	// compiled spec) must leave none behind.
+	compiled := indexer.Spec{
+		Name: "compiled_idx", Base: "orders",
+		PartKey: func(r lake.Record) (lake.Key, error) { return r.Key, nil },
+		Keys:    func(r lake.Record) ([]lake.Key, error) { return []lake.Key{r.Key}, nil },
+	}
+	if err := m.Register(compiled); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ensure(ctx, "compiled_idx"); err != nil {
+		t.Fatal(err)
+	}
+	scripted := orig
+	scripted.Structure = "compiled_idx"
+	if code := doJSON(t, "POST", srv.URL+"/v1/structures", scripted, nil); code != 409 {
+		t.Fatalf("POST over compiled structure: status %d, want 409", code)
+	}
+	if b, ok := reg.Binding("compiled_idx"); ok {
+		t.Fatalf("conflicting POST left a stray binding behind: %+v", b)
+	}
+}
+
 // TestScriptEndpointsDetachedAnswer404 pins the not-attached contract.
 func TestScriptEndpointsDetachedAnswer404(t *testing.T) {
 	s := New(dfs.NewCluster(dfs.Config{Nodes: 1}))

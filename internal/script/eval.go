@@ -11,11 +11,12 @@ import (
 )
 
 // The evaluator: a tree walker with two meters. Every statement executed and
-// every expression node evaluated charges one step; every string byte a
-// program produces charges the allocation budget. Exceeding either budget
-// aborts the invocation with a typed, permanent *Error, so the worst a
-// hostile script costs is the budget — never a hung worker, never a retried
-// task.
+// every expression node evaluated charges one step, and data-proportional
+// work (string comparison, find) charges a step per byte touched; every
+// string byte a program produces charges the allocation budget. Exceeding
+// either budget aborts the invocation with a typed, permanent *Error, so
+// the worst a hostile script costs is the budget — never a hung worker,
+// never a retried task.
 
 // Builtin is one host-provided function, installed per invocation for the
 // contract being served (set for interpreters, emit/carry for referencers,
@@ -27,8 +28,20 @@ type Builtin func(args []Value) (Value, error)
 // arguments, returning the function's return value (the zero Value for a
 // bare or missing return). Programs are immutable, so concurrent Calls on
 // one Program are safe; each call meters itself independently.
-func (p *Program) Call(fn string, lim Limits, host map[string]Builtin, args ...Value) (Value, error) {
+func (p *Program) Call(fn string, lim Limits, host map[string]Builtin, args ...Value) (ret Value, err error) {
 	counters.invocations.Add(1)
+	// Last line of the sandbox: a panic escaping Call — an evaluator bug or
+	// a faulting host builtin — would crash the whole serving process from a
+	// user-POSTed script. Convert it into a permanent runtime *Error so the
+	// guarantee that a hostile script costs at most its budget holds even
+	// against bugs below this point.
+	defer func() {
+		if r := recover(); r != nil {
+			ret = Value{}
+			err = &Error{Class: ClassRuntime, Fn: fn, Line: 1,
+				Msg: fmt.Sprintf("internal panic: %v", r)}
+		}
+	}()
 	d, ok := p.fns[fn]
 	if !ok {
 		return Value{}, &Error{Class: ClassRuntime, Fn: fn, Line: 1, Msg: "no such function"}
@@ -46,11 +59,11 @@ func (p *Program) Call(fn string, lim Limits, host map[string]Builtin, args ...V
 	for i, name := range d.params {
 		ev.vars[name] = args[i]
 	}
-	ret, _, err := ev.execBlock(d.body)
-	if err != nil {
-		return Value{}, err
+	out, _, eerr := ev.execBlock(d.body)
+	if eerr != nil {
+		return Value{}, eerr
 	}
-	return ret, nil
+	return out, nil
 }
 
 type evalState struct {
@@ -67,8 +80,13 @@ func (ev *evalState) errf(line int, format string, args ...any) *Error {
 }
 
 // step charges one evaluation step.
-func (ev *evalState) step(line int) *Error {
-	ev.steps++
+func (ev *evalState) step(line int) *Error { return ev.stepN(1, line) }
+
+// stepN charges n evaluation steps at once. Data-proportional work —
+// bytewise string comparison, substring search — charges one step per byte
+// touched, so the step budget bounds CPU time, not just node count.
+func (ev *evalState) stepN(n int64, line int) *Error {
+	ev.steps += n
 	if ev.steps > ev.lim.Steps {
 		counters.stepTrips.Add(1)
 		return &Error{Class: ClassStepBudget, Fn: ev.fn, Line: line,
@@ -291,15 +309,21 @@ func (ev *evalState) evalIntOp(e *binExpr, x, y int64) (Value, *Error) {
 	return Value{}, ev.errf(e.line, "unknown operator %s", e.op)
 }
 
-// evalStrOp: + concatenates (charged); comparisons are bytewise, which on
-// keycodec-encoded keys is exactly key order.
+// evalStrOp: + concatenates (charged against the alloc budget); comparisons
+// are bytewise — which on keycodec-encoded keys is exactly key order — and
+// charge the step budget per byte of the shorter operand, so a loop
+// comparing a large payload burns its budget instead of a worker's CPU.
 func (ev *evalState) evalStrOp(e *binExpr, x, y string) (Value, *Error) {
-	switch e.op {
-	case "+":
+	if e.op == "+" {
 		if err := ev.charge(len(x)+len(y), e.line); err != nil {
 			return Value{}, err
 		}
 		return Str(x + y), nil
+	}
+	if err := ev.stepN(int64(min(len(x), len(y))), e.line); err != nil {
+		return Value{}, err
+	}
+	switch e.op {
 	case "==":
 		return Bool(x == y), nil
 	case "!=":
@@ -371,6 +395,9 @@ func (ev *evalState) pureBuiltin(e *callExpr, args []Value) (v Value, handled bo
 		if i < 0 {
 			i = 0
 		}
+		if j < 0 {
+			j = 0
+		}
 		if j > int64(len(s)) {
 			j = int64(len(s))
 		}
@@ -383,8 +410,13 @@ func (ev *evalState) pureBuiltin(e *callExpr, args []Value) (v Value, handled bo
 		}
 		return Str(out), true, nil
 	case "find":
+		// Substring search scans the haystack; charge it like a comparison
+		// so find in a loop cannot outrun the step budget.
 		if len(args) != 2 || args[0].kind != kindStr || args[1].kind != kindStr {
 			return Value{}, true, argErr("two strings")
+		}
+		if err := ev.stepN(int64(len(args[0].s)), e.line); err != nil {
+			return Value{}, true, err
 		}
 		return Int(int64(strings.Index(args[0].s, args[1].s))), true, nil
 	case "int":

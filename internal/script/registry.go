@@ -242,6 +242,24 @@ func (r *Registry) specFor(b SpecBinding) (indexer.Spec, error) {
 	}, nil
 }
 
+// Binding returns the recorded binding of a structure, if any.
+func (r *Registry) Binding(structure string) (SpecBinding, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.bindings[structure]
+	return b, ok
+}
+
+// RestoreBinding re-records a binding previously captured with Binding,
+// without re-validating it against the current script versions. It exists
+// for failure-path rollback: a caller whose Bind replaced a binding and then
+// failed downstream puts the replaced one back.
+func (r *Registry) RestoreBinding(b SpecBinding) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bindings[b.Structure] = b
+}
+
 // Unbind drops the persisted binding of a structure (the structure itself,
 // if built, is untouched). It reports whether a binding existed.
 func (r *Registry) Unbind(structure string) bool {

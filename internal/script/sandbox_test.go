@@ -102,6 +102,59 @@ func TestAllocationBombHitsAllocBudget(t *testing.T) {
 	}
 }
 
+// TestHostPanicIsContained: the sandbox promises typed errors, never process
+// death — a panic below Call (a faulting host builtin, or an evaluator bug)
+// must surface as a permanent runtime *Error, not crash the server.
+func TestHostPanicIsContained(t *testing.T) {
+	p := MustCompile(`fn main() { return boom() }`)
+	_, err := p.Call("main", Limits{}, map[string]Builtin{
+		"boom": func([]Value) (Value, error) { panic("kaboom") },
+	})
+	var serr *Error
+	if !errors.As(err, &serr) || serr.Class != ClassRuntime {
+		t.Fatalf("panic surfaced as %v, want a runtime *script.Error", err)
+	}
+	if !lake.IsPermanent(err) {
+		t.Fatalf("recovered panic %v does not classify as permanent", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("recovered panic %v lost the panic value", err)
+	}
+}
+
+// TestStringComparisonChargesSteps: comparing strings costs steps
+// proportional to the bytes compared, so a loop comparing a large record
+// payload cannot turn a step budget into seconds of CPU.
+func TestStringComparisonChargesSteps(t *testing.T) {
+	p := MustCompile(`fn main(s) { return s == s }`)
+	before := Counters()
+	_, err := p.Call("main", Limits{Steps: 1000}, nil, Str(strings.Repeat("x", 100_000)))
+	var serr *Error
+	if !errors.As(err, &serr) || serr.Class != ClassStepBudget {
+		t.Fatalf("comparing 100k bytes under a 1000-step budget = %v, want a step-budget error", err)
+	}
+	if after := Counters(); after.StepTrips <= before.StepTrips {
+		t.Fatal("StepTrips counter did not advance")
+	}
+	// Short operands stay cheap: comparing against a small literal is
+	// charged by the shorter side, so filtering a big payload still fits a
+	// tiny budget.
+	if v, err := p.Call("main", Limits{Steps: 50}, nil, Str("abc")); err != nil {
+		t.Fatalf("small comparison tripped the budget: %v", err)
+	} else if b, ok := v.IsBool(); !ok || !b {
+		t.Fatalf("s == s = %#v, want true", v)
+	}
+	q := MustCompile(`fn main(s) { return s == "needle" }`)
+	if _, err := q.Call("main", Limits{Steps: 50}, nil, Str(strings.Repeat("x", 100_000))); err != nil {
+		t.Fatalf("big-vs-literal comparison must charge the shorter operand: %v", err)
+	}
+	// find scans the haystack and is charged the same way.
+	f := MustCompile(`fn main(s) { return find(s, "|") }`)
+	if _, err := f.Call("main", Limits{Steps: 1000}, nil, Str(strings.Repeat("x", 100_000))); err == nil {
+		t.Fatal("find over 100k bytes under a 1000-step budget did not trip")
+	}
+}
+
 // TestFailedScriptedBuildLeavesNoFile: a script error mid-build must fail
 // the build AND drop the partial structure file — no half-built structures.
 func TestFailedScriptedBuildLeavesNoFile(t *testing.T) {

@@ -52,6 +52,7 @@ func TestLanguageSemantics(t *testing.T) {
 			return substr(s, i + 1, len(s))
 		}`, []Value{Str("42|val")}, Str("val")},
 		{"substr-clamps", `fn main(s) { return substr(s, -3, 99) + substr(s, 2, 1) }`, []Value{Str("ab")}, Str("ab")},
+		{"substr-negative-end", `fn main(s) { return substr(s, 0, -1) + substr(s, -5, -2) + "ok" }`, []Value{Str("ab")}, Str("ok")},
 		{"find-missing", `fn main() { return find("abc", "z") }`, nil, Int(-1)},
 		{"int-str-roundtrip", `fn main() { return str(int("-17") + 1) }`, nil, Str("-16")},
 		{"comments", "fn main() { # comment\n\treturn 1 # trailing\n}", nil, Int(1)},

@@ -134,8 +134,8 @@ func Snapshot(ctx context.Context, cluster *dfs.Cluster, w io.Writer) error {
 }
 
 // WriteSnapshot serializes the cluster's files plus the given metadata
-// (catalog version + structure registry) to w in format v2. A nil meta
-// writes an empty metadata section.
+// (catalog version, structure registry, scripts, and script bindings) to w
+// in format v3. A nil meta writes empty metadata sections.
 func WriteSnapshot(ctx context.Context, cluster *dfs.Cluster, meta *SnapshotMeta, w io.Writer) error {
 	if meta == nil {
 		meta = &SnapshotMeta{}
@@ -204,7 +204,7 @@ func SnapshotToPath(ctx context.Context, cluster *dfs.Cluster, path string) erro
 	return CheckpointToPath(ctx, cluster, nil, path)
 }
 
-// CheckpointToPath writes a v2 snapshot (files + metadata) to path,
+// CheckpointToPath writes a v3 snapshot (files + metadata) to path,
 // atomically: the stream goes to a temp file that is fsynced, renamed into
 // place, and made durable by fsyncing the parent directory — without the
 // directory fsync a crash shortly after the rename can silently lose the
